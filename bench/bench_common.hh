@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches: argument
+ * handling, default scaled-down model dims (shape-preserving; pass
+ * dim=1 tok=1 for the paper's Table-I sizes), and row formatting.
+ *
+ * Every bench prints the rows/series of one paper figure or table,
+ * plus the paper's reported values for side-by-side comparison.
+ */
+
+#ifndef CAIS_BENCH_BENCH_COMMON_HH
+#define CAIS_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "runtime/simulation_driver.hh"
+#include "workload/llm_config.hh"
+
+namespace cais::bench
+{
+
+/** Parsed bench options. */
+struct BenchArgs
+{
+    Params params;
+
+    /** Shape-preserving reduction factors (Sec. IV-B methodology,
+     *  extended: the paper halves dims, we further reduce so every
+     *  bench runs in seconds; pass dim=1 tok=1 for Table-I sizes). */
+    double dimFactor = 0.5;
+    double tokFactor = 0.25;
+
+    int gpus = 8;
+    int switches = 4;
+
+    static BenchArgs
+    parse(int argc, char **argv, double dim_def = 0.5,
+          double tok_def = 0.25)
+    {
+        BenchArgs a;
+        a.params = Params::fromArgs(argc, argv);
+        a.dimFactor = a.params.getDouble("dim", dim_def);
+        a.tokFactor = a.params.getDouble("tok", tok_def);
+        a.gpus = static_cast<int>(a.params.getInt("gpus", 8));
+        a.switches = static_cast<int>(a.params.getInt("switches", 4));
+        return a;
+    }
+
+    RunConfig
+    runConfig() const
+    {
+        RunConfig cfg;
+        cfg.numGpus = gpus;
+        cfg.numSwitches = switches;
+        cfg.chunkBytes = static_cast<std::uint32_t>(
+            params.getInt("chunk", cfg.chunkBytes));
+        cfg.gpu.numSms = static_cast<int>(
+            params.getInt("sms", cfg.gpu.numSms));
+        cfg.gpu.maxStartSkew = static_cast<Cycle>(params.getInt(
+            "skew_us",
+            static_cast<std::int64_t>(cfg.gpu.maxStartSkew /
+                                      cyclesPerUs))) * cyclesPerUs;
+        return cfg;
+    }
+
+    LlmConfig
+    model(const LlmConfig &base) const
+    {
+        return base.scaled(dimFactor, tokFactor);
+    }
+};
+
+/** Print the bench banner with the effective configuration. */
+inline void
+banner(const char *what, const BenchArgs &a)
+{
+    std::printf("== %s ==\n", what);
+    std::printf("config: %d GPUs x %d switches, dim=%.3g tok=%.3g "
+                "(pass dim=1 tok=1 for Table-I sizes)\n\n",
+                a.gpus, a.switches, a.dimFactor, a.tokFactor);
+}
+
+/** "1.38x"-style speedup cell. */
+inline std::string
+x(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2fx", v);
+    return buf;
+}
+
+} // namespace cais::bench
+
+#endif // CAIS_BENCH_BENCH_COMMON_HH

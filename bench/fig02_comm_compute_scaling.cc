@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 2: computation vs communication time as the system scales
+ * from 2 to 32 GPUs (LLaMA-7B under the NVLS-accelerated baseline).
+ * The paper's observation: communication overtakes computation beyond
+ * 4-8 GPUs, reaching ~1.6x computation at 8 GPUs.
+ */
+
+#include "bench_common.hh"
+#include "workload/transformer.hh"
+
+using namespace cais;
+using namespace cais::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs a = BenchArgs::parse(argc, argv);
+    banner("Fig. 2: computation vs communication when scaling up", a);
+
+    LlmConfig m = a.model(llama7B());
+    std::printf("model: %s\n\n", m.str().c_str());
+    std::printf("%6s %14s %14s %12s\n", "GPUs", "compute (us)",
+                "comm (us)", "comm/compute");
+
+    for (int gpus : {2, 4, 8, 16, 32}) {
+        RunConfig cfg = a.runConfig();
+        cfg.numGpus = gpus;
+        OpGraph g = buildTransformerLayer(m, Pass::forward);
+        RunResult r = runGraph(strategyByName("SP-NVLS"), g, cfg,
+                               "layer");
+        double comp = static_cast<double>(r.computeKernelCycles) /
+                      cyclesPerUs;
+        double comm = static_cast<double>(r.commKernelCycles) /
+                      cyclesPerUs;
+        std::printf("%6d %14.1f %14.1f %11.2fx\n", gpus, comp, comm,
+                    comm / comp);
+    }
+
+    std::printf("\npaper: communication exceeds computation beyond "
+                "4-8 GPUs;\n"
+                "       at 8 GPUs communication is ~1.6x computation "
+                "for LLaMA-7B.\n");
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Figure 11: end-to-end model speedup of CAIS over the nine baselines
+ * and CAIS-Base, for inference (prefill) and training, across the
+ * three Table-I models. One homogeneous transformer layer is
+ * simulated per pass and scaled by the layer count; training time is
+ * forward + backward.
+ */
+
+#include "bench_common.hh"
+#include "workload/transformer.hh"
+
+using namespace cais;
+using namespace cais::bench;
+
+namespace
+{
+
+/** Paper-reported geomean speedups (inference / training). */
+struct PaperRow
+{
+    const char *name;
+    double inf;
+    double train;
+};
+
+const PaperRow paperGeomeans[] = {
+    {"TP-NVLS", 1.38, 1.37},   {"SP-NVLS", 1.89, 1.89},
+    {"CoCoNet", 1.98, 1.96},   {"FuseLib", 1.90, 1.89},
+    {"T3", 1.61, 1.60},        {"CoCoNet-NVLS", 1.25, 1.23},
+    {"FuseLib-NVLS", 1.21, 1.20}, {"T3-NVLS", 1.45, 1.45},
+    {"LADM", 7.60, 7.59},      {"CAIS-Base", 1.43, 1.42},
+};
+
+double
+layerTimeUs(const StrategySpec &spec, const LlmConfig &m,
+            const RunConfig &cfg, Pass pass)
+{
+    OpGraph g = buildTransformerLayer(m, pass);
+    RunResult r = runGraph(spec, g, cfg,
+                           pass == Pass::forward ? "fwd" : "bwd");
+    return r.makespanUs();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs a = BenchArgs::parse(argc, argv);
+    banner("Fig. 11: end-to-end speedup across training & inference",
+           a);
+
+    RunConfig cfg = a.runConfig();
+
+    // Table I (printed for reference).
+    std::printf("Table I models:\n");
+    for (const auto &m : tableOneModels())
+        std::printf("  %s\n", m.str().c_str());
+    std::printf("\n");
+
+    std::vector<StrategySpec> strategies = allStrategies();
+
+    // Per-model layer times.
+    struct ModelTimes
+    {
+        std::string model;
+        std::vector<double> inf;   // per strategy, us per layer
+        std::vector<double> train; // fwd + bwd
+    };
+    std::vector<ModelTimes> times;
+
+    for (const auto &base : tableOneModels()) {
+        LlmConfig m = a.model(base);
+        ModelTimes mt;
+        mt.model = base.name;
+        for (const auto &spec : strategies) {
+            double fwd = layerTimeUs(spec, m, cfg, Pass::forward);
+            double bwd = layerTimeUs(spec, m, cfg, Pass::backward);
+            mt.inf.push_back(fwd);
+            mt.train.push_back(fwd + bwd);
+        }
+        times.push_back(std::move(mt));
+    }
+
+    std::size_t cais_idx = strategies.size() - 1;
+
+    for (int phase = 0; phase < 2; ++phase) {
+        const char *tag = phase == 0 ? "inference (prefill)"
+                                     : "training (fwd+bwd)";
+        std::printf("-- %s: CAIS speedup over each baseline --\n",
+                    tag);
+        std::printf("%-14s", "baseline");
+        for (const auto &mt : times)
+            std::printf(" %14s", mt.model.c_str());
+        std::printf(" %9s %9s\n", "geomean", "paper");
+
+        for (std::size_t s = 0; s + 1 < strategies.size(); ++s) {
+            std::printf("%-14s", strategies[s].name.c_str());
+            std::vector<double> ratios;
+            for (const auto &mt : times) {
+                const auto &v = phase == 0 ? mt.inf : mt.train;
+                double sp = v[s] / v[cais_idx];
+                ratios.push_back(sp);
+                std::printf(" %14s", x(sp).c_str());
+            }
+            double paper = phase == 0 ? paperGeomeans[s].inf
+                                      : paperGeomeans[s].train;
+            std::printf(" %9s %9s\n", x(geomean(ratios)).c_str(),
+                        x(paper).c_str());
+        }
+
+        std::printf("%-14s", "CAIS layer us");
+        for (const auto &mt : times) {
+            const auto &v = phase == 0 ? mt.inf : mt.train;
+            std::printf(" %14.1f", v[cais_idx]);
+        }
+        std::printf("\n\n");
+    }
+
+    // End-to-end extrapolation (layers x per-layer time) for CAIS.
+    std::printf("-- end-to-end CAIS time (layer time x depth) --\n");
+    const std::vector<LlmConfig> models = tableOneModels();
+    for (std::size_t i = 0; i < times.size(); ++i) {
+        const LlmConfig &base = models[i];
+        std::printf("  %-12s inference %8.2f ms   training %8.2f ms\n",
+                    base.name.c_str(),
+                    times[i].inf[cais_idx] * base.layers / 1000.0,
+                    times[i].train[cais_idx] * base.layers / 1000.0);
+    }
+    return 0;
+}

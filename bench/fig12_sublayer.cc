@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 12: speedup on the four communication-intensive sub-layers
+ * L1-L4 (GEMM-RS + LN + AG-GEMM chains) across the Table-I models.
+ */
+
+#include "bench_common.hh"
+#include "workload/transformer.hh"
+
+using namespace cais;
+using namespace cais::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs a = BenchArgs::parse(argc, argv);
+    banner("Fig. 12: sub-layer performance speedup", a);
+
+    RunConfig cfg = a.runConfig();
+    std::vector<StrategySpec> strategies = allStrategies();
+    std::size_t cais_idx = strategies.size() - 1;
+
+    // Paper sub-layer geomeans over TP-NVLS..LADM, CAIS-Base.
+    const double paper[] = {1.39, 1.91, 1.99, 1.91, 1.64,
+                            1.24, 1.20, 1.47, 7.90, 1.47};
+
+    std::vector<std::vector<double>> ratios(
+        strategies.size() - 1); // per baseline, across model x L
+
+    for (const auto &base : tableOneModels()) {
+        LlmConfig m = a.model(base);
+        std::printf("-- %s --\n", base.name.c_str());
+        std::printf("%-14s %10s %10s %10s %10s\n", "strategy", "L1",
+                    "L2", "L3", "L4");
+
+        std::vector<std::vector<double>> us(strategies.size());
+        for (SubLayerId L : {SubLayerId::L1, SubLayerId::L2,
+                             SubLayerId::L3, SubLayerId::L4}) {
+            OpGraph g = buildSubLayer(m, L);
+            for (std::size_t s = 0; s < strategies.size(); ++s) {
+                RunResult r = runGraph(strategies[s], g, cfg,
+                                       subLayerName(L));
+                us[s].push_back(r.makespanUs());
+            }
+        }
+
+        for (std::size_t s = 0; s < strategies.size(); ++s) {
+            std::printf("%-14s", strategies[s].name.c_str());
+            for (int L = 0; L < 4; ++L) {
+                if (s == cais_idx) {
+                    std::printf(" %8.1fus", us[s][L]);
+                } else {
+                    double sp = us[s][L] / us[cais_idx][L];
+                    ratios[s].push_back(sp);
+                    std::printf(" %10s", x(sp).c_str());
+                }
+            }
+            std::printf("\n");
+        }
+        std::printf("\n");
+    }
+
+    std::printf("-- geomean speedup of CAIS over each baseline --\n");
+    std::printf("%-14s %10s %10s\n", "baseline", "measured", "paper");
+    for (std::size_t s = 0; s + 1 < strategies.size(); ++s)
+        std::printf("%-14s %10s %10s\n", strategies[s].name.c_str(),
+                    x(geomean(ratios[s])).c_str(), x(paper[s]).c_str());
+    return 0;
+}

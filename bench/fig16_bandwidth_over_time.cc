@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 16: link bandwidth utilization over time for the L2
+ * sub-layer of LLaMA-7B under (a) CAIS-Base, (b) CAIS-Partial
+ * (no traffic control) and (c) full CAIS, rendered as ASCII series.
+ * The paper shows CAIS sustaining near-peak utilization while the
+ * partial configuration dips under contention and the base
+ * configuration fluctuates at a low level.
+ */
+
+#include "analysis/bandwidth_probe.hh"
+#include "bench_common.hh"
+#include "workload/transformer.hh"
+
+using namespace cais;
+using namespace cais::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs a = BenchArgs::parse(argc, argv, 0.25, 0.5);
+    banner("Fig. 16: bandwidth utilization over time (L2, LLaMA-7B)",
+           a);
+
+    RunConfig cfg = a.runConfig();
+    LlmConfig m = a.model(llama7B());
+    OpGraph g = buildSubLayer(m, SubLayerId::L2);
+
+    const char *variants[] = {"CAIS-Base", "CAIS-Partial", "CAIS"};
+    const char *tags[] = {"(a) CAIS-Base", "(b) CAIS-Partial",
+                          "(c) CAIS"};
+
+    for (int v = 0; v < 3; ++v) {
+        RunResult r = runGraph(strategyByName(variants[v]), g, cfg,
+                               "L2");
+        std::printf("%s — makespan %.1f us, mean util %s (up %s / "
+                    "dn %s)\n",
+                    tags[v], r.makespanUs(), pct(r.avgUtil).c_str(),
+                    pct(r.upUtil).c_str(), pct(r.dnUtil).c_str());
+        std::printf("%s\n",
+                    renderSeries(r.utilSeries, r.utilBinWidth, 20)
+                        .c_str());
+    }
+
+    std::printf("paper: CAIS holds near-peak utilization in steady "
+                "state; CAIS-Partial dips under\n"
+                "       head-of-line contention; CAIS-Base is lowest "
+                "and fluctuating.\n");
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Figure 17 / Sec. V-C: scalability.
+ *
+ * (1) Performance: per-GPU compute throughput of CAIS and
+ * CoCoNet-NVLS from 8 to 32 GPUs, with the hidden dimension scaled
+ * proportionally (the paper keeps per-GPU work constant); normalized
+ * to 8-GPU CAIS. The paper reports <5% drop at 32 GPUs.
+ *
+ * (2) Hardware cost: the required merge-table footprint stays bounded
+ * by a single GPU's outstanding-request window, independent of GPU
+ * count (40 KB/port, 1280 KB system-wide in the paper).
+ */
+
+#include "analysis/area_model.hh"
+#include "bench_common.hh"
+#include "workload/transformer.hh"
+
+using namespace cais;
+using namespace cais::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs a = BenchArgs::parse(argc, argv, 1.0, 0.125);
+    banner("Fig. 17: scalability with increasing GPU count", a);
+
+    LlmConfig base = a.model(llama7B());
+
+    struct Row
+    {
+        int gpus;
+        double caisTput = 0;
+        double coconetTput = 0;
+        std::uint64_t peakTable = 0;
+    };
+    std::vector<Row> rows;
+
+    for (int gpus : {8, 16, 32}) {
+        RunConfig cfg = a.runConfig();
+        cfg.numGpus = gpus;
+        cfg.unboundedMergeTable = true;
+
+        // Scale the hidden dimension with the GPU count so per-GPU
+        // compute stays constant (Sec. V-C.1).
+        LlmConfig m = base;
+        m.hidden = base.hidden * gpus / 8;
+        m.ffnHidden = base.ffnHidden * gpus / 8;
+
+        OpGraph g = buildSubLayer(m, SubLayerId::L1);
+        Row row;
+        row.gpus = gpus;
+
+        // Per-GPU compute throughput = per-GPU FLOPs / time (the
+        // hidden-dim scaling grows per-GPU FLOPs with G).
+        double flops_per_gpu = 0.0;
+        for (const OpNode &n : g.ops())
+            flops_per_gpu += n.flops() * n.flopScale;
+        flops_per_gpu /= gpus;
+
+        RunResult cais = runGraph(strategyByName("CAIS"), g, cfg,
+                                  "L1");
+        RunResult coco = runGraph(strategyByName("CoCoNet-NVLS"), g,
+                                  cfg, "L1");
+        row.caisTput = flops_per_gpu / cais.makespanUs();
+        row.coconetTput = flops_per_gpu / coco.makespanUs();
+        row.peakTable = cais.peakMergeBytes;
+        rows.push_back(row);
+    }
+
+    double norm = rows[0].caisTput;
+    std::printf("%6s %22s %22s %20s\n", "GPUs",
+                "CAIS per-GPU tput", "CoCoNet-NVLS tput",
+                "peak table/port");
+    for (const Row &r : rows) {
+        std::printf("%6d %21.1f%% %21.1f%% %17llu KB\n", r.gpus,
+                    100.0 * r.caisTput / norm,
+                    100.0 * r.coconetTput / norm,
+                    static_cast<unsigned long long>(r.peakTable /
+                                                    1024));
+    }
+    std::printf("\npaper: per-GPU throughput drops <5%% from 8 to 32 "
+                "GPUs; CAIS stays above\n"
+                "       CoCoNet-NVLS throughout; the table bound is "
+                "independent of GPU count.\n\n");
+
+    // Hardware-cost bound (Sec. V-C.2).
+    RunConfig cfg = a.runConfig();
+    std::uint64_t bound = systemMergeTableBound(
+        cfg.gpu.maxCaisLoadOutstanding, cfg.chunkBytes,
+        cfg.numSwitches, 8);
+    std::printf("analytic system-wide merging bound (one GPU's "
+                "outstanding window): %llu KB\n",
+                static_cast<unsigned long long>(bound / 1024));
+    std::printf("paper: 1280 KB system-wide, constant in GPU "
+                "count.\n");
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator hot paths: event
+ * queue throughput, credit-link packet processing, merge-unit session
+ * handling, tile-tracker contributions, and routing hashes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/event_queue.hh"
+#include "dataflow/tile_dependency.hh"
+#include "noc/routing.hh"
+#include "switchcompute/merging_table.hh"
+
+using namespace cais;
+
+static void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1024; ++i)
+            eq.schedule(static_cast<Cycle>((i * 7919) % 4096),
+                        [&sink] { ++sink; });
+        eq.runAll();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+static void
+BM_EventQueueSelfScheduling(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int hops = 0;
+        std::function<void()> chain = [&] {
+            if (++hops < 1000)
+                eq.scheduleAfter(1, chain);
+        };
+        eq.schedule(0, chain);
+        eq.runAll();
+        benchmark::DoNotOptimize(hops);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueSelfScheduling);
+
+static void
+BM_RoutingHash(benchmark::State &state)
+{
+    DeterministicRouting r(4, 4096);
+    Addr a = makeAddr(3, 0);
+    std::uint64_t acc = 0;
+    for (auto _ : state) {
+        acc += static_cast<std::uint64_t>(r.switchForAddr(a));
+        a += 4096;
+    }
+    benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RoutingHash);
+
+static void
+BM_MergingTableSessionChurn(benchmark::State &state)
+{
+    MergingTable tbl(static_cast<std::uint64_t>(state.range(0)) * 4096,
+                     4096);
+    Addr next = 0;
+    for (auto _ : state) {
+        MergeEntry *e = tbl.allocate(next, false);
+        if (!e) {
+            state.SkipWithError("table full");
+            return;
+        }
+        e->lastAccess = next;
+        tbl.release(e);
+        next += 4096;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MergingTableSessionChurn)->Arg(320);
+
+static void
+BM_TileTrackerContributions(benchmark::State &state)
+{
+    for (auto _ : state) {
+        TileTracker t("bm", 8, 64, 4096);
+        for (GpuId g = 0; g < 8; ++g)
+            for (int tile = 0; tile < 64; ++tile)
+                t.contribute(g, tile, 4096);
+        benchmark::DoNotOptimize(t.complete());
+    }
+    state.SetItemsProcessed(state.iterations() * 8 * 64);
+}
+BENCHMARK(BM_TileTrackerContributions);
+
+BENCHMARK_MAIN();

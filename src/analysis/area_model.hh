@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Analytic hardware-overhead model (Sec. V-D): estimates the silicon
+ * area of the CAIS switch extensions (CAM lookup table, merging-table
+ * SRAM, reduction ALUs, group sync table) and of the GPU-side
+ * synchronizer, under a 12 nm process. The paper reports ~0.50 mm^2
+ * per switch (<1% of an NVSwitch die) and 0.019 mm^2 per GPU
+ * (<0.01% of an H100).
+ */
+
+#ifndef CAIS_ANALYSIS_AREA_MODEL_HH
+#define CAIS_ANALYSIS_AREA_MODEL_HH
+
+#include <cstdint>
+#include <string>
+
+namespace cais
+{
+
+/** 12 nm technology constants (derived from published SRAM/logic
+ *  densities; um^2 granularity). */
+struct ProcessParams
+{
+    double sramUm2PerBit = 0.110;   ///< dense SRAM macro incl. periphery
+    double camUm2PerBit = 0.60;     ///< TCAM/associative cell
+    double fp32AdderUm2 = 500.0;    ///< pipelined FP32 adder
+    double controlLogicUm2PerEntry = 20.0;
+
+    /** Reference die sizes for percentage reporting. */
+    double nvswitchDieMm2 = 294.0; ///< NVSwitch gen3 [17]
+    double h100DieMm2 = 814.0;
+};
+
+/** CAIS switch-side configuration for the estimate. */
+struct SwitchAreaConfig
+{
+    int ports = 8;                       ///< GPU-facing ports
+    std::uint64_t mergeTableBytesPerPort = 40 * 1024;
+    int camEntriesPerPort = 320;
+    int camBitsPerEntry = 52;            ///< addr tag + type + slot
+    int reductionLanesPerPort = 16;      ///< FP adders in the datapath
+    int groupSyncEntries = 1024;
+    int groupSyncBitsPerEntry = 80;      ///< group id + mask + count
+};
+
+/** GPU-side synchronizer configuration. */
+struct GpuAreaConfig
+{
+    int syncTableEntries = 256;
+    int syncBitsPerEntry = 96; ///< group id, phase, state, TB slot
+};
+
+/** Itemized area result in mm^2. */
+struct AreaBreakdown
+{
+    double mergingTableMm2 = 0.0;
+    double camMm2 = 0.0;
+    double reductionAlusMm2 = 0.0;
+    double groupSyncMm2 = 0.0;
+    double controlMm2 = 0.0;
+    double totalMm2 = 0.0;
+
+    std::string str() const;
+};
+
+/** Estimate the per-switch CAIS extension area. */
+AreaBreakdown switchExtensionArea(const SwitchAreaConfig &cfg,
+                                  const ProcessParams &p);
+
+/** Estimate the per-GPU synchronizer area. */
+AreaBreakdown gpuSynchronizerArea(const GpuAreaConfig &cfg,
+                                  const ProcessParams &p);
+
+/**
+ * System-wide merging-table bound (Sec. V-C.2): outstanding remote
+ * requests of a single GPU, independent of GPU count.
+ */
+std::uint64_t systemMergeTableBound(int max_inflight_chunks,
+                                    std::uint32_t chunk_bytes,
+                                    int num_switches, int ports);
+
+} // namespace cais
+
+#endif // CAIS_ANALYSIS_AREA_MODEL_HH

@@ -1,0 +1,76 @@
+#include "analysis/bandwidth_probe.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace cais
+{
+
+std::string
+pct(double fraction, int width)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%*.1f%%", width - 1,
+                  fraction * 100.0);
+    return buf;
+}
+
+std::string
+asciiBar(double fraction, int width)
+{
+    fraction = std::clamp(fraction, 0.0, 1.0);
+    int fill = static_cast<int>(fraction * width + 0.5);
+    std::string s(static_cast<std::size_t>(fill), '#');
+    s.append(static_cast<std::size_t>(width - fill), '.');
+    return s;
+}
+
+std::vector<double>
+downsample(const std::vector<double> &series, int buckets)
+{
+    std::vector<double> out;
+    if (series.empty() || buckets <= 0)
+        return out;
+    if (static_cast<int>(series.size()) <= buckets)
+        return series;
+    out.resize(static_cast<std::size_t>(buckets), 0.0);
+    double per = static_cast<double>(series.size()) /
+                 static_cast<double>(buckets);
+    for (int b = 0; b < buckets; ++b) {
+        std::size_t lo = static_cast<std::size_t>(b * per);
+        std::size_t hi = static_cast<std::size_t>((b + 1) * per);
+        hi = std::min(hi, series.size());
+        if (hi <= lo)
+            hi = lo + 1;
+        double s = 0.0;
+        for (std::size_t i = lo; i < hi; ++i)
+            s += series[i];
+        out[static_cast<std::size_t>(b)] =
+            s / static_cast<double>(hi - lo);
+    }
+    return out;
+}
+
+std::string
+renderSeries(const std::vector<double> &series, Cycle bin_width,
+             int max_rows)
+{
+    std::ostringstream os;
+    auto ds = downsample(series, max_rows);
+    double per_row = series.empty()
+        ? 1.0
+        : static_cast<double>(series.size()) /
+              static_cast<double>(ds.size());
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+        double t_us = static_cast<double>(i) * per_row *
+                      static_cast<double>(bin_width) / 1000.0;
+        char head[48];
+        std::snprintf(head, sizeof(head), "%8.1f us  %s  ", t_us,
+                      pct(ds[i]).c_str());
+        os << head << asciiBar(ds[i]) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace cais

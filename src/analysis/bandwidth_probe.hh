@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Reporting helpers for the bandwidth-utilization experiments
+ * (Figs. 15/16): formatted tables and ASCII renderings of
+ * utilization-over-time series for terminal output.
+ */
+
+#ifndef CAIS_ANALYSIS_BANDWIDTH_PROBE_HH
+#define CAIS_ANALYSIS_BANDWIDTH_PROBE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cais
+{
+
+/** Render a fraction as a fixed-width percentage, e.g. " 90.2%". */
+std::string pct(double fraction, int width = 6);
+
+/** One-line ASCII bar of @p fraction (0..1) with @p width cells. */
+std::string asciiBar(double fraction, int width = 40);
+
+/**
+ * Render a utilization time series as rows of "t_us  frac  bar",
+ * downsampled to at most @p max_rows rows.
+ */
+std::string renderSeries(const std::vector<double> &series,
+                         Cycle bin_width, int max_rows = 24);
+
+/** Downsample @p series to @p buckets means. */
+std::vector<double> downsample(const std::vector<double> &series,
+                               int buckets);
+
+} // namespace cais
+
+#endif // CAIS_ANALYSIS_BANDWIDTH_PROBE_HH

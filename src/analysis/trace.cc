@@ -1,0 +1,155 @@
+#include "analysis/trace.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace cais
+{
+
+void
+TraceCollector::addSpan(const std::string &name,
+                        const std::string &category, int pid, int tid,
+                        Cycle start, Cycle end)
+{
+    Event e;
+    e.phase = 'X';
+    e.name = name;
+    e.category = category;
+    e.pid = pid;
+    e.tid = tid;
+    e.ts = start;
+    e.dur = end > start ? end - start : 0;
+    e.value = 0.0;
+    events.push_back(std::move(e));
+}
+
+void
+TraceCollector::addInstant(const std::string &name,
+                           const std::string &category, int pid,
+                           int tid, Cycle at)
+{
+    Event e;
+    e.phase = 'i';
+    e.name = name;
+    e.category = category;
+    e.pid = pid;
+    e.tid = tid;
+    e.ts = at;
+    e.dur = 0;
+    e.value = 0.0;
+    events.push_back(std::move(e));
+}
+
+void
+TraceCollector::addCounter(const std::string &name, int pid, Cycle at,
+                           double value)
+{
+    Event e;
+    e.phase = 'C';
+    e.name = name;
+    e.category = "counter";
+    e.pid = pid;
+    e.tid = 0;
+    e.ts = at;
+    e.dur = 0;
+    e.value = value;
+    events.push_back(std::move(e));
+}
+
+void
+TraceCollector::nameLane(int pid, int tid, const std::string &name)
+{
+    Event e;
+    e.phase = 'M';
+    e.name = "thread_name";
+    e.pid = pid;
+    e.tid = tid;
+    e.ts = 0;
+    e.dur = 0;
+    e.value = 0.0;
+    e.metaValue = name;
+    events.push_back(std::move(e));
+}
+
+void
+TraceCollector::nameProcess(int pid, const std::string &name)
+{
+    Event e;
+    e.phase = 'M';
+    e.name = "process_name";
+    e.pid = pid;
+    e.tid = 0;
+    e.ts = 0;
+    e.dur = 0;
+    e.value = 0.0;
+    e.metaValue = name;
+    events.push_back(std::move(e));
+}
+
+std::string
+TraceCollector::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+std::string
+TraceCollector::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+    for (const Event &e : events) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n{\"ph\":\"" << e.phase << "\",\"pid\":" << e.pid
+           << ",\"tid\":" << e.tid << ",\"ts\":"
+           << static_cast<double>(e.ts) / 1000.0; // us in trace time
+        switch (e.phase) {
+          case 'X':
+            os << ",\"dur\":" << static_cast<double>(e.dur) / 1000.0
+               << ",\"name\":\"" << escape(e.name) << "\",\"cat\":\""
+               << escape(e.category) << "\"";
+            break;
+          case 'i':
+            os << ",\"s\":\"t\",\"name\":\"" << escape(e.name)
+               << "\",\"cat\":\"" << escape(e.category) << "\"";
+            break;
+          case 'C':
+            os << ",\"name\":\"" << escape(e.name)
+               << "\",\"args\":{\"value\":" << e.value << "}";
+            break;
+          case 'M':
+            os << ",\"name\":\"" << escape(e.name)
+               << "\",\"args\":{\"name\":\"" << escape(e.metaValue)
+               << "\"}";
+            break;
+          default:
+            break;
+        }
+        os << "}";
+    }
+    os << "\n]}\n";
+    return os.str();
+}
+
+bool
+TraceCollector::writeFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::string json = toJson();
+    std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    return n == json.size();
+}
+
+} // namespace cais

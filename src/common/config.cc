@@ -1,0 +1,92 @@
+#include "common/config.hh"
+
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace cais
+{
+
+Params
+Params::fromArgs(int argc, char **argv)
+{
+    Params p;
+    for (int i = 1; i < argc; ++i)
+        p.parseToken(argv[i]);
+    return p;
+}
+
+bool
+Params::parseToken(const std::string &token)
+{
+    auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0)
+        return false;
+    set(token.substr(0, eq), token.substr(eq + 1));
+    return true;
+}
+
+void
+Params::set(const std::string &key, const std::string &value)
+{
+    if (!kv.count(key))
+        order.push_back(key);
+    kv[key] = value;
+}
+
+bool
+Params::has(const std::string &key) const
+{
+    return kv.count(key) != 0;
+}
+
+std::string
+Params::getString(const std::string &key, const std::string &def) const
+{
+    auto it = kv.find(key);
+    return it == kv.end() ? def : it->second;
+}
+
+std::int64_t
+Params::getInt(const std::string &key, std::int64_t def) const
+{
+    auto it = kv.find(key);
+    if (it == kv.end())
+        return def;
+    char *end = nullptr;
+    std::int64_t v = std::strtoll(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("parameter %s=%s is not an integer", key.c_str(),
+              it->second.c_str());
+    return v;
+}
+
+double
+Params::getDouble(const std::string &key, double def) const
+{
+    auto it = kv.find(key);
+    if (it == kv.end())
+        return def;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("parameter %s=%s is not a number", key.c_str(),
+              it->second.c_str());
+    return v;
+}
+
+bool
+Params::getBool(const std::string &key, bool def) const
+{
+    auto it = kv.find(key);
+    if (it == kv.end())
+        return def;
+    const std::string &v = it->second;
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    fatal("parameter %s=%s is not a boolean", key.c_str(), v.c_str());
+}
+
+} // namespace cais

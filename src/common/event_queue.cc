@@ -1,0 +1,75 @@
+#include "common/event_queue.hh"
+
+#include "common/log.hh"
+
+namespace cais
+{
+
+void
+EventQueue::schedule(Cycle when, Callback cb)
+{
+    if (when < curTick)
+        panic("scheduling event in the past: %llu < %llu",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(curTick));
+    heap.push(Entry{when, nextSeq++, std::move(cb)});
+}
+
+void
+EventQueue::scheduleAfter(Cycle delta, Callback cb)
+{
+    schedule(curTick + delta, std::move(cb));
+}
+
+bool
+EventQueue::runOne()
+{
+    if (heap.empty())
+        return false;
+    // Move the callback out before popping so the entry can schedule
+    // further events safely.
+    Entry e = heap.top();
+    heap.pop();
+    curTick = e.when;
+    ++numExecuted;
+    e.cb();
+    return true;
+}
+
+std::uint64_t
+EventQueue::runUntil(Cycle limit)
+{
+    std::uint64_t n = 0;
+    while (!heap.empty() && heap.top().when <= limit) {
+        runOne();
+        ++n;
+    }
+    // Simulated time reaches the limit even when later events remain
+    // pending.
+    if (curTick < limit)
+        curTick = limit;
+    return n;
+}
+
+std::uint64_t
+EventQueue::runAll(std::uint64_t max_events)
+{
+    std::uint64_t n = 0;
+    while (n < max_events && runOne())
+        ++n;
+    if (n == max_events && !heap.empty())
+        warn("event budget (%llu) exhausted with %zu events pending",
+             static_cast<unsigned long long>(max_events), heap.size());
+    return n;
+}
+
+void
+EventQueue::reset()
+{
+    heap = decltype(heap)();
+    curTick = 0;
+    nextSeq = 0;
+    numExecuted = 0;
+}
+
+} // namespace cais

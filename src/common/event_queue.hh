@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * The EventQueue owns global simulated time. Components schedule
+ * callbacks at absolute or relative cycles; ties are broken by
+ * insertion order so simulations are fully deterministic.
+ */
+
+#ifndef CAIS_COMMON_EVENT_QUEUE_HH
+#define CAIS_COMMON_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cais
+{
+
+/** A deterministic discrete-event queue with nanosecond resolution. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule @p cb at absolute cycle @p when (>= now). */
+    void schedule(Cycle when, Callback cb);
+
+    /** Schedule @p cb @p delta cycles after the current time. */
+    void scheduleAfter(Cycle delta, Callback cb);
+
+    /** Pop and run the earliest event. @return false if queue empty. */
+    bool runOne();
+
+    /**
+     * Run events until the queue drains or simulated time would
+     * exceed @p limit.
+     * @return the number of events executed.
+     */
+    std::uint64_t runUntil(Cycle limit);
+
+    /**
+     * Run events until the queue drains.
+     * @param max_events safety valve against runaway simulations.
+     * @return the number of events executed.
+     */
+    std::uint64_t runAll(std::uint64_t max_events = ~0ull);
+
+    /** Current simulated time in cycles. */
+    Cycle now() const { return curTick; }
+
+    /** True when no events remain. */
+    bool empty() const { return heap.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap.size(); }
+
+    /** Total number of events executed since construction. */
+    std::uint64_t executed() const { return numExecuted; }
+
+    /** Reset time to zero and discard all pending events. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Cycle when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    Cycle curTick = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t numExecuted = 0;
+};
+
+} // namespace cais
+
+#endif // CAIS_COMMON_EVENT_QUEUE_HH

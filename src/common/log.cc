@@ -1,0 +1,105 @@
+#include "common/log.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace cais
+{
+
+namespace
+{
+LogLevel g_level = LogLevel::normal;
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+std::string
+vstrfmt(const char *fmt, std::va_list ap)
+{
+    std::va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+    va_end(ap2);
+    return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+std::string
+strfmt(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string s = vstrfmt(fmt, ap);
+    va_end(ap);
+    return s;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string s = vstrfmt(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "panic: %s\n", s.c_str());
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string s = vstrfmt(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "fatal: %s\n", s.c_str());
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string s = vstrfmt(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "warn: %s\n", s.c_str());
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (g_level == LogLevel::quiet)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string s = vstrfmt(fmt, ap);
+    va_end(ap);
+    std::fprintf(stdout, "info: %s\n", s.c_str());
+}
+
+void
+informVerbose(const char *fmt, ...)
+{
+    if (g_level != LogLevel::verbose)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string s = vstrfmt(fmt, ap);
+    va_end(ap);
+    std::fprintf(stdout, "debug: %s\n", s.c_str());
+}
+
+} // namespace cais

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the gem5 spirit.
+ *
+ * panic()  - an internal simulator invariant was violated (a bug);
+ *            aborts the process.
+ * fatal()  - the simulation cannot continue because of a user error
+ *            (bad configuration, invalid arguments); exits with code 1.
+ * warn()   - something is modelled approximately; simulation continues.
+ * inform() - status message with no connotation of incorrectness.
+ */
+
+#ifndef CAIS_COMMON_LOG_HH
+#define CAIS_COMMON_LOG_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace cais
+{
+
+/** Verbosity levels for inform(); warnings always print. */
+enum class LogLevel { quiet = 0, normal = 1, verbose = 2 };
+
+/** Set the global verbosity for inform()/informVerbose(). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+/** printf-style formatting into a std::string. */
+std::string vstrfmt(const char *fmt, std::va_list ap);
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an internal invariant violation and abort. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a non-fatal modelling concern. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal status (suppressed at LogLevel::quiet). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report detailed status (printed only at LogLevel::verbose). */
+void informVerbose(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace cais
+
+#endif // CAIS_COMMON_LOG_HH

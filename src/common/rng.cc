@@ -1,0 +1,72 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+namespace cais
+{
+
+Rng::Rng(std::uint64_t s)
+{
+    seed(s);
+}
+
+void
+Rng::seed(std::uint64_t s)
+{
+    state = s ? s : 0x9e3779b97f4a7c15ull;
+    haveSpare = false;
+}
+
+std::uint64_t
+Rng::next()
+{
+    std::uint64_t x = state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state = x;
+    return x * 0x2545f4914f6cdd1dull;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> uniform in [0, 1).
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    if (hi <= lo)
+        return lo;
+    std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next() % span);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    if (haveSpare) {
+        haveSpare = false;
+        return mean + stddev * spare;
+    }
+    // Box-Muller transform.
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 < 1e-300)
+        u1 = 1e-300;
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    spare = r * std::sin(theta);
+    haveSpare = true;
+    return mean + stddev * r * std::cos(theta);
+}
+
+} // namespace cais

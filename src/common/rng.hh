@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * Every stochastic element of the simulator (TB scheduling jitter,
+ * DRAM contention noise) draws from an explicitly seeded Rng so that
+ * simulations are exactly reproducible run to run.
+ */
+
+#ifndef CAIS_COMMON_RNG_HH
+#define CAIS_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace cais
+{
+
+/** xorshift64* generator; small, fast, and deterministic. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Re-seed the generator (zero is remapped to a fixed constant). */
+    void seed(std::uint64_t s);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Normal deviate with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+  private:
+    std::uint64_t state;
+    bool haveSpare = false;
+    double spare = 0.0;
+};
+
+} // namespace cais
+
+#endif // CAIS_COMMON_RNG_HH

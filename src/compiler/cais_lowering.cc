@@ -1,0 +1,33 @@
+#include "compiler/cais_lowering.hh"
+
+#include "compiler/index_analysis.hh"
+
+namespace cais
+{
+
+LoweringResult
+lowerToCais(const IrKernel &k, GroupId first_group)
+{
+    LoweringResult res;
+    res.kernel = k;
+    res.plan = groupTbs(k, first_group);
+
+    if (!res.plan.grouped)
+        return res;
+
+    for (auto &a : res.kernel.accesses) {
+        AccessClass c = classifyAccess(a);
+        if (c.mergeableLoad && a.op == Opcode::ldGlobal) {
+            a.op = Opcode::ldCais;
+            a.caisFlag = true;
+            ++res.numLowered;
+        } else if (c.mergeableReduction && a.op == Opcode::redGlobal) {
+            a.op = Opcode::redCais;
+            a.caisFlag = true;
+            ++res.numLowered;
+        }
+    }
+    return res;
+}
+
+} // namespace cais

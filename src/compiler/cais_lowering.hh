@@ -1,0 +1,34 @@
+/**
+ * @file
+ * JIT lowering pass (Sec. III-B.1): memory access instructions whose
+ * index analysis marks them mergeable are replaced by their CAIS
+ * variants (`ld.cais`, `red.cais`) with the 1-bit CAIS flag set, and
+ * TB group metadata is produced for the launch configuration.
+ */
+
+#ifndef CAIS_COMPILER_CAIS_LOWERING_HH
+#define CAIS_COMPILER_CAIS_LOWERING_HH
+
+#include "compiler/kernel_ir.hh"
+#include "compiler/tb_grouping.hh"
+
+namespace cais
+{
+
+/** Output of the lowering pass. */
+struct LoweringResult
+{
+    IrKernel kernel;    ///< rewritten kernel
+    TbGroupingPlan plan;
+    int numLowered = 0; ///< instructions rewritten to CAIS variants
+};
+
+/**
+ * Lower @p k for compute-aware in-switch execution, allocating group
+ * ids from @p first_group.
+ */
+LoweringResult lowerToCais(const IrKernel &k, GroupId first_group);
+
+} // namespace cais
+
+#endif // CAIS_COMPILER_CAIS_LOWERING_HH

@@ -1,0 +1,48 @@
+#include "compiler/index_analysis.hh"
+
+namespace cais
+{
+
+AccessClass
+classifyAccess(const MemInstr &instr)
+{
+    AccessClass c;
+    c.gpuInvariant = instr.addr.gpuInvariant();
+    c.remote = instr.remote;
+
+    // Merging requires that all GPUs issue the *same* address: a
+    // GPU-variant index produces per-GPU addresses the switch can
+    // never coalesce. Only remote accesses reach the switch at all.
+    bool candidate = c.remote && c.gpuInvariant;
+    if (candidate && instr.op == Opcode::ldGlobal)
+        c.mergeableLoad = true;
+    if (candidate && instr.op == Opcode::redGlobal)
+        c.mergeableReduction = true;
+    // Already-lowered CAIS instructions stay mergeable.
+    if (c.remote && instr.op == Opcode::ldCais)
+        c.mergeableLoad = true;
+    if (c.remote && instr.op == Opcode::redCais)
+        c.mergeableReduction = true;
+    return c;
+}
+
+std::vector<AccessClass>
+analyzeKernel(const IrKernel &k)
+{
+    std::vector<AccessClass> out;
+    out.reserve(k.accesses.size());
+    for (const auto &a : k.accesses)
+        out.push_back(classifyAccess(a));
+    return out;
+}
+
+bool
+hasMergeableAccess(const IrKernel &k)
+{
+    for (const auto &a : k.accesses)
+        if (classifyAccess(a).mergeable())
+            return true;
+    return false;
+}
+
+} // namespace cais

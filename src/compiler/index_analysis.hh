@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Static index analysis (Sec. III-B.1, Fig. 8a): inspects the address
+ * expression of each memory access to decide whether it is
+ * GPU-invariant — i.e. the expression contains no GPU-id term, so TBs
+ * with equal blockIdx on different GPUs touch identical addresses —
+ * and therefore whether the access is eligible for in-switch merging.
+ */
+
+#ifndef CAIS_COMPILER_INDEX_ANALYSIS_HH
+#define CAIS_COMPILER_INDEX_ANALYSIS_HH
+
+#include <vector>
+
+#include "compiler/kernel_ir.hh"
+
+namespace cais
+{
+
+/** Classification of one memory access. */
+struct AccessClass
+{
+    bool gpuInvariant = false; ///< no gpuId term in the index
+    bool remote = false;       ///< may touch a peer GPU's memory
+    bool mergeableLoad = false;
+    bool mergeableReduction = false;
+
+    bool mergeable() const
+    {
+        return mergeableLoad || mergeableReduction;
+    }
+};
+
+/** Classify a single access. */
+AccessClass classifyAccess(const MemInstr &instr);
+
+/** Classify every access of a kernel, in order. */
+std::vector<AccessClass> analyzeKernel(const IrKernel &k);
+
+/** True if any access of the kernel is mergeable. */
+bool hasMergeableAccess(const IrKernel &k);
+
+} // namespace cais
+
+#endif // CAIS_COMPILER_INDEX_ANALYSIS_HH

@@ -1,0 +1,31 @@
+#include "compiler/kernel_ir.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace cais
+{
+
+void
+IrKernel::validate() const
+{
+    if (gridX < 1 || gridY < 1)
+        panic("kernel %s: bad grid %dx%d", name.c_str(), gridX, gridY);
+    for (const auto &a : accesses)
+        if (a.bytesPerTb == 0)
+            panic("kernel %s: access with zero bytes", name.c_str());
+}
+
+std::string
+IrKernel::str() const
+{
+    std::ostringstream os;
+    os << name << " <<<" << gridX << "x" << gridY << ">>> ("
+       << flopsPerTb << " FLOP/TB)\n";
+    for (const auto &a : accesses)
+        os << "  " << a.str() << "\n";
+    return os.str();
+}
+
+} // namespace cais

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Miniature kernel IR consumed by the CAIS compiler passes.
+ *
+ * An IrKernel is the CUDA-to-PTX-stage view of one tensor-parallel
+ * kernel: a 2-D grid plus the memory access instructions of a
+ * representative thread block, with symbolic (affine) address
+ * expressions. The static index analysis, TB grouping, and CAIS
+ * lowering passes of Sec. III-B operate on this form; the workload
+ * layer then expands the lowered kernel into concrete TbDescs.
+ */
+
+#ifndef CAIS_COMPILER_KERNEL_IR_HH
+#define CAIS_COMPILER_KERNEL_IR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instr.hh"
+
+namespace cais
+{
+
+/** One kernel in compiler IR form. */
+struct IrKernel
+{
+    std::string name;
+
+    /** Grid dimensions (blockIdx.x in [0, gridX), .y in [0, gridY)). */
+    int gridX = 1;
+    int gridY = 1;
+
+    /** Memory access instructions of a representative thread block. */
+    std::vector<MemInstr> accesses;
+
+    /** Arithmetic work per thread block (for cost modelling). */
+    std::uint64_t flopsPerTb = 0;
+
+    int numTbs() const { return gridX * gridY; }
+
+    /** Linearized blockIdx. */
+    static int
+    linearTb(int bx, int by, int grid_x)
+    {
+        return by * grid_x + bx;
+    }
+
+    void validate() const;
+    std::string str() const;
+};
+
+} // namespace cais
+
+#endif // CAIS_COMPILER_KERNEL_IR_HH

@@ -1,0 +1,25 @@
+#include "compiler/tb_grouping.hh"
+
+#include "compiler/index_analysis.hh"
+
+namespace cais
+{
+
+TbGroupingPlan
+groupTbs(const IrKernel &k, GroupId first_group)
+{
+    TbGroupingPlan plan;
+    int n = k.numTbs();
+    plan.groupOfTb.assign(static_cast<std::size_t>(n), invalidId);
+    if (!hasMergeableAccess(k))
+        return plan;
+
+    plan.grouped = true;
+    plan.firstGroup = first_group;
+    plan.numGroups = n;
+    for (int tb = 0; tb < n; ++tb)
+        plan.groupOfTb[static_cast<std::size_t>(tb)] = first_group + tb;
+    return plan;
+}
+
+} // namespace cais

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Compiler-guided TB grouping (Sec. III-B.1): thread blocks on
+ * different GPUs that share a blockIdx — and hence, for GPU-invariant
+ * accesses, touch identical data — are collected into logical TB
+ * groups. Group metadata is attached to the kernel launch
+ * configuration and drives the runtime's pre-launch/pre-access
+ * synchronization and the switch's merge tracking.
+ */
+
+#ifndef CAIS_COMPILER_TB_GROUPING_HH
+#define CAIS_COMPILER_TB_GROUPING_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "compiler/kernel_ir.hh"
+
+namespace cais
+{
+
+/** Grouping decision for one kernel. */
+struct TbGroupingPlan
+{
+    /** Whether any TB of the kernel was grouped. */
+    bool grouped = false;
+
+    /** Group id per linear blockIdx (invalidId when ungrouped). */
+    std::vector<GroupId> groupOfTb;
+
+    /** First group id used (ids are firstGroup .. firstGroup+n-1). */
+    GroupId firstGroup = invalidId;
+
+    int numGroups = 0;
+};
+
+/**
+ * Build TB groups for @p k. Every TB whose kernel contains at least
+ * one mergeable access joins the group of its blockIdx; group ids are
+ * allocated from @p first_group (the runtime keeps ids globally
+ * unique across kernel launches).
+ */
+TbGroupingPlan groupTbs(const IrKernel &k, GroupId first_group);
+
+} // namespace cais
+
+#endif // CAIS_COMPILER_TB_GROUPING_HH

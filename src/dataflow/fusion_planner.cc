@@ -1,0 +1,110 @@
+#include "dataflow/fusion_planner.hh"
+
+#include "common/log.hh"
+
+namespace cais
+{
+
+const char *
+trafficDirName(TrafficDir d)
+{
+    switch (d) {
+      case TrafficDir::none: return "none";
+      case TrafficDir::gpuToSwitch: return "G2S";
+      case TrafficDir::switchToGpu: return "S2G";
+      case TrafficDir::balanced: return "balanced";
+      default: return "?";
+    }
+}
+
+TrafficDir
+FusionPlanner::classify(const OpGraph &g, OpId id)
+{
+    const OpNode &n = g.node(id);
+    switch (n.kind) {
+      case OpKind::reduceScatter:
+        return TrafficDir::gpuToSwitch;
+      case OpKind::allGather:
+        return TrafficDir::switchToGpu;
+      case OpKind::allReduce:
+        return TrafficDir::balanced;
+      case OpKind::gemmRowParallel:
+        // A row-parallel GEMM feeding a reduction pushes partial
+        // tiles upstream (red.cais): G2S heavy.
+        for (OpId c : g.consumers(id)) {
+            OpKind k = g.node(c).kind;
+            if (k == OpKind::reduceScatter || k == OpKind::allReduce)
+                return TrafficDir::gpuToSwitch;
+        }
+        return TrafficDir::none;
+      case OpKind::gemmColParallel:
+        // A col-parallel GEMM consuming gathered activations pulls
+        // remote tiles (ld.cais): S2G heavy.
+        for (OpId in : n.inputs) {
+            OpKind k = g.node(in).kind;
+            if (k == OpKind::allGather || k == OpKind::allReduce)
+                return TrafficDir::switchToGpu;
+        }
+        return TrafficDir::none;
+      default:
+        return TrafficDir::none;
+    }
+}
+
+FusionPlan
+FusionPlanner::plan(const OpGraph &g, const FusionOptions &opt) const
+{
+    FusionPlan p;
+    p.sched.resize(g.size());
+
+    for (OpId id = 0; id < static_cast<OpId>(g.size()); ++id) {
+        OpSchedule &s = p.sched[static_cast<std::size_t>(id)];
+        s.op = id;
+        s.dir = classify(g, id);
+        s.tileLevelDeps = opt.enableTileDeps;
+    }
+
+    if (!opt.enableAsymmetricOverlap)
+        return p;
+
+    // Pair each G2S-heavy GEMM with the nearest downstream S2G-heavy
+    // GEMM reachable within maxPairDistance producer-consumer hops.
+    for (OpId a = 0; a < static_cast<OpId>(g.size()); ++a) {
+        if (p.of(a).dir != TrafficDir::gpuToSwitch)
+            continue;
+        if (g.node(a).kind != OpKind::gemmRowParallel)
+            continue;
+
+        std::vector<OpId> frontier{a};
+        for (int hop = 0; hop < opt.maxPairDistance; ++hop) {
+            std::vector<OpId> next;
+            for (OpId f : frontier) {
+                for (OpId c : g.consumers(f)) {
+                    if (p.of(c).dir == TrafficDir::switchToGpu &&
+                        g.node(c).kind == OpKind::gemmColParallel &&
+                        p.of(c).overlapsWith == invalidId &&
+                        p.of(a).overlapsWith == invalidId) {
+                        auto &sa =
+                            p.sched[static_cast<std::size_t>(a)];
+                        auto &sc =
+                            p.sched[static_cast<std::size_t>(c)];
+                        sa.overlapsWith = c;
+                        sc.overlapsWith = a;
+                        sa.smFrom = 0.0;
+                        sa.smTo = 0.5;
+                        sc.smFrom = 0.5;
+                        sc.smTo = 1.0;
+                        p.asymmetricPairs.emplace_back(a, c);
+                    }
+                    next.push_back(c);
+                }
+            }
+            frontier = std::move(next);
+            if (frontier.empty())
+                break;
+        }
+    }
+    return p;
+}
+
+} // namespace cais

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Graph-level dataflow optimizer (Sec. III-C).
+ *
+ * Given an operator graph, the planner decides, per op:
+ *  - whether consumers attach at tile granularity (deep fusion:
+ *    consumer TBs launch as soon as their input tiles are ready,
+ *    Fig. 9d) or behind a kernel-level barrier;
+ *  - an SM partition for Asymmetric Kernel Overlapping (Fig. 9e):
+ *    kernels with complementary link-direction profiles (GEMM-RS is
+ *    GPU-to-switch heavy, AG-GEMM switch-to-GPU heavy, Fig. 10) are
+ *    co-scheduled on disjoint SM halves so both link directions stay
+ *    busy.
+ */
+
+#ifndef CAIS_DATAFLOW_FUSION_PLANNER_HH
+#define CAIS_DATAFLOW_FUSION_PLANNER_HH
+
+#include <utility>
+#include <vector>
+
+#include "dataflow/op_graph.hh"
+
+namespace cais
+{
+
+/** Dominant fabric direction of an op's CAIS realization. */
+enum class TrafficDir : std::uint8_t
+{
+    none,        ///< no fabric traffic
+    gpuToSwitch, ///< reduction-dominated (GEMM-RS)
+    switchToGpu, ///< load-dominated (AG-GEMM)
+    balanced,    ///< symmetric (AllReduce)
+};
+
+const char *trafficDirName(TrafficDir d);
+
+/** Per-op scheduling decision. */
+struct OpSchedule
+{
+    OpId op = invalidId;
+    bool tileLevelDeps = false;
+    double smFrom = 0.0;
+    double smTo = 1.0;
+    TrafficDir dir = TrafficDir::none;
+
+    /** Partner in an asymmetric overlap pair (invalidId if none). */
+    OpId overlapsWith = invalidId;
+};
+
+/** Whole-graph plan. */
+struct FusionPlan
+{
+    std::vector<OpSchedule> sched; ///< indexed by op id
+    std::vector<std::pair<OpId, OpId>> asymmetricPairs;
+
+    const OpSchedule &of(OpId id) const
+    {
+        return sched[static_cast<std::size_t>(id)];
+    }
+};
+
+/** Optimizer knobs. */
+struct FusionOptions
+{
+    /** Deep kernel fusion via TB-level dependencies. */
+    bool enableTileDeps = true;
+
+    /** Asymmetric kernel overlapping (SM partitioning). */
+    bool enableAsymmetricOverlap = true;
+
+    /** Producer-to-consumer distance searched for pairs. */
+    int maxPairDistance = 6;
+};
+
+/** The optimizer. */
+class FusionPlanner
+{
+  public:
+    FusionPlan plan(const OpGraph &g,
+                    const FusionOptions &opt = FusionOptions()) const;
+
+    /** Direction profile of one op under the CAIS realization. */
+    static TrafficDir classify(const OpGraph &g, OpId id);
+};
+
+} // namespace cais
+
+#endif // CAIS_DATAFLOW_FUSION_PLANNER_HH

@@ -1,0 +1,139 @@
+#include "dataflow/op_graph.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace cais
+{
+
+bool
+isCommOp(OpKind k)
+{
+    return k == OpKind::allReduce || k == OpKind::allGather ||
+           k == OpKind::reduceScatter;
+}
+
+const char *
+opKindName(OpKind k)
+{
+    switch (k) {
+      case OpKind::gemmColParallel: return "gemm.col";
+      case OpKind::gemmRowParallel: return "gemm.row";
+      case OpKind::layerNorm: return "layernorm";
+      case OpKind::elementwise: return "elementwise";
+      case OpKind::attentionCore: return "attention";
+      case OpKind::allReduce: return "allreduce";
+      case OpKind::allGather: return "allgather";
+      case OpKind::reduceScatter: return "reducescatter";
+      default: return "?";
+    }
+}
+
+double
+OpNode::flops() const
+{
+    switch (kind) {
+      case OpKind::gemmColParallel:
+      case OpKind::gemmRowParallel:
+        return 2.0 * static_cast<double>(rows) *
+               static_cast<double>(cols) * static_cast<double>(inner);
+      case OpKind::attentionCore:
+        // QK^T and PV: two GEMMs over the sequence per head; `cols`
+        // is the hidden dimension so head_dim factors cancel.
+        return 4.0 * static_cast<double>(rows) *
+               static_cast<double>(inner) * static_cast<double>(cols);
+      case OpKind::layerNorm:
+      case OpKind::elementwise:
+        return 8.0 * static_cast<double>(rows) *
+               static_cast<double>(cols);
+      default:
+        return 0.0;
+    }
+}
+
+OpId
+OpGraph::addOp(OpKind kind, std::string name, std::int64_t rows,
+               std::int64_t cols, std::int64_t inner,
+               std::vector<OpId> inputs)
+{
+    OpNode n;
+    n.id = static_cast<OpId>(nodes.size());
+    n.kind = kind;
+    n.name = std::move(name);
+    n.rows = rows;
+    n.cols = cols;
+    n.inner = inner;
+    n.inputs = std::move(inputs);
+    nodes.push_back(std::move(n));
+    return nodes.back().id;
+}
+
+const OpNode &
+OpGraph::node(OpId id) const
+{
+    if (id < 0 || static_cast<std::size_t>(id) >= nodes.size())
+        panic("op graph: bad op id %d", id);
+    return nodes[static_cast<std::size_t>(id)];
+}
+
+OpNode &
+OpGraph::node(OpId id)
+{
+    return const_cast<OpNode &>(
+        static_cast<const OpGraph *>(this)->node(id));
+}
+
+std::vector<OpId>
+OpGraph::consumers(OpId id) const
+{
+    std::vector<OpId> out;
+    for (const auto &n : nodes)
+        for (OpId in : n.inputs)
+            if (in == id)
+                out.push_back(n.id);
+    return out;
+}
+
+std::vector<OpId>
+OpGraph::topoOrder() const
+{
+    std::vector<OpId> order;
+    order.reserve(nodes.size());
+    for (const auto &n : nodes)
+        order.push_back(n.id);
+    return order;
+}
+
+void
+OpGraph::validate() const
+{
+    for (const auto &n : nodes) {
+        for (OpId in : n.inputs) {
+            if (in < 0 || in >= n.id)
+                panic("op %s: input %d is not an earlier node",
+                      n.name.c_str(), in);
+        }
+        if (n.rows <= 0 || n.cols <= 0)
+            panic("op %s: bad shape", n.name.c_str());
+    }
+}
+
+std::string
+OpGraph::str() const
+{
+    std::ostringstream os;
+    for (const auto &n : nodes) {
+        os << n.id << ": " << opKindName(n.kind) << " " << n.name
+           << " [" << n.rows << "x" << n.cols;
+        if (n.inner)
+            os << " k=" << n.inner;
+        os << "] <-";
+        for (OpId in : n.inputs)
+            os << " " << in;
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace cais

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Logical operator dataflow graph (DFG) of a tensor-parallel model
+ * region. The workload layer builds these graphs (transformer layers
+ * or the paper's L1-L4 sub-layers); execution strategies lower them
+ * into kernels, choosing how each communication op is realized
+ * (NVLS collective, software pipeline, T3 track-&-trigger, CAIS
+ * in-kernel loads/reductions, ...).
+ */
+
+#ifndef CAIS_DATAFLOW_OP_GRAPH_HH
+#define CAIS_DATAFLOW_OP_GRAPH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cais
+{
+
+/** Operator kinds appearing in TP transformer graphs. */
+enum class OpKind : std::uint8_t
+{
+    gemmColParallel, ///< weights sharded on N; local output shard
+    gemmRowParallel, ///< weights sharded on K; partial output (needs
+                     ///< reduction)
+    layerNorm,       ///< row-wise normalization (sequence-sharded)
+    elementwise,     ///< GeLU / dropout / residual add
+    attentionCore,   ///< softmax(QK^T)V per local head (no TP comm)
+    allReduce,       ///< f/f-bar of basic TP
+    allGather,       ///< g-bar of TP+SP
+    reduceScatter,   ///< g of TP+SP
+};
+
+/** True for collective-communication operators. */
+bool isCommOp(OpKind k);
+
+/** Human-readable op kind. */
+const char *opKindName(OpKind k);
+
+/** One node of the DFG. */
+struct OpNode
+{
+    OpId id = invalidId;
+    OpKind kind = OpKind::elementwise;
+    std::string name;
+
+    /**
+     * Shape semantics (full, unsharded logical sizes):
+     *  - GEMMs: rows x cols output with inner reduction dim.
+     *  - layerNorm/elementwise: rows x cols tensor.
+     *  - collectives: rows x cols tensor moved.
+     *  - attentionCore: rows = batch*seq, cols = hidden, inner = seq.
+     */
+    std::int64_t rows = 0;
+    std::int64_t cols = 0;
+    std::int64_t inner = 0;
+
+    /** Element size in bytes (fp16 = 2). */
+    int elemBytes = 2;
+
+    /** FLOP multiplier (backward passes fuse dgrad + wgrad: 2x). */
+    double flopScale = 1.0;
+
+    /** Output rows are sequence-sharded across GPUs (TP+SP). */
+    bool rowSharded = false;
+
+    /** Output columns are sharded across GPUs (col-parallel GEMM). */
+    bool colSharded = false;
+
+    /** Producer ops this node consumes. */
+    std::vector<OpId> inputs;
+
+    std::uint64_t outputBytes() const
+    {
+        return static_cast<std::uint64_t>(rows) *
+               static_cast<std::uint64_t>(cols) *
+               static_cast<std::uint64_t>(elemBytes);
+    }
+
+    /** FLOPs of the full (unsharded) operator. */
+    double flops() const;
+};
+
+/** The DFG container. */
+class OpGraph
+{
+  public:
+    OpId addOp(OpKind kind, std::string name, std::int64_t rows,
+               std::int64_t cols, std::int64_t inner,
+               std::vector<OpId> inputs);
+
+    const OpNode &node(OpId id) const;
+    OpNode &node(OpId id);
+    std::size_t size() const { return nodes.size(); }
+    const std::vector<OpNode> &ops() const { return nodes; }
+
+    /** Ops that consume @p id. */
+    std::vector<OpId> consumers(OpId id) const;
+
+    /** Ids in topological order (insertion order must respect deps). */
+    std::vector<OpId> topoOrder() const;
+
+    /** Panic if inputs reference undefined or later nodes. */
+    void validate() const;
+
+    std::string str() const;
+
+  private:
+    std::vector<OpNode> nodes;
+};
+
+} // namespace cais
+
+#endif // CAIS_DATAFLOW_OP_GRAPH_HH

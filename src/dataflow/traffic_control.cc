@@ -1,0 +1,12 @@
+#include "dataflow/traffic_control.hh"
+
+namespace cais
+{
+
+void
+TrafficControlConfig::apply(FabricParams &fp) const
+{
+    fp.sw.unifiedDataVc = !separateDataVcs;
+}
+
+} // namespace cais

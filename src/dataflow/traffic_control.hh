@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Traffic control for asymmetric kernel overlapping (Sec. III-C.2):
+ * CAIS places load and reduction traffic on separate virtual channels
+ * with round-robin arbitration so neither class suffers head-of-line
+ * blocking when GEMM-RS and AG-GEMM run concurrently. Disabling it
+ * (the paper's CAIS-Partial configuration, Figs. 15-16) collapses the
+ * data classes onto a single VC.
+ */
+
+#ifndef CAIS_DATAFLOW_TRAFFIC_CONTROL_HH
+#define CAIS_DATAFLOW_TRAFFIC_CONTROL_HH
+
+#include "noc/topology.hh"
+
+namespace cais
+{
+
+/** Strategy-level traffic-control settings. */
+struct TrafficControlConfig
+{
+    /** Separate VCs for load vs reduction traffic (CAIS default). */
+    bool separateDataVcs = true;
+
+    /** Apply to a fabric configuration before construction. */
+    void apply(FabricParams &fp) const;
+};
+
+} // namespace cais
+
+#endif // CAIS_DATAFLOW_TRAFFIC_CONTROL_HH

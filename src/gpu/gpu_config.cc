@@ -1,0 +1,56 @@
+#include "gpu/gpu_config.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace cais
+{
+
+void
+GpuParams::validate() const
+{
+    if (numSms < 1)
+        fatal("GPU needs at least one SM");
+    if (ctasPerSm < 1)
+        fatal("need at least one CTA slot per SM");
+    if (flopsPerCyclePerSm <= 0 || gemmEfficiency <= 0 ||
+        gemmEfficiency > 1.0)
+        fatal("bad GPU throughput parameters");
+    if (hbmBytesPerCycle <= 0)
+        fatal("bad HBM bandwidth");
+    if (chunkBytes < 128)
+        fatal("chunk granularity below one coalesced packet (128 B)");
+    if (maxInflightChunks < 1)
+        fatal("injection window must be at least one chunk");
+    if (jitterSigma < 0 || jitterSigma > 0.5)
+        fatal("jitter sigma out of range [0, 0.5]");
+}
+
+std::string
+GpuParams::str() const
+{
+    std::ostringstream os;
+    os << numSms << " SMs x " << ctasPerSm << " CTAs, "
+       << effectiveFlopsPerCyclePerSm() << " eff FLOP/cyc/SM, HBM "
+       << hbmBytesPerCycle << " B/cyc, chunk " << chunkBytes << " B";
+    return os.str();
+}
+
+GpuParams
+fullScaleH100()
+{
+    GpuParams p;
+    p.numSms = 132;
+    return p;
+}
+
+GpuParams
+halfScaleH100()
+{
+    GpuParams p;
+    p.numSms = 66;
+    return p;
+}
+
+} // namespace cais

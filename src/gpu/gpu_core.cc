@@ -1,0 +1,32 @@
+#include "gpu/gpu_core.hh"
+
+namespace cais
+{
+
+GpuCore::GpuCore(EventQueue &eq_, Fabric &fabric, GpuId id,
+                 const GpuParams &params)
+    : gpuId(id), p(params), eq(eq_),
+      hubImpl(eq_, fabric, id, params),
+      syncImpl(id), smPool(eq_, params.numSms, params.ctasPerSm),
+      sched(smPool), rngImpl(params.seed + static_cast<std::uint64_t>(id))
+{
+    p.validate();
+    hubImpl.setSynchronizer(&syncImpl);
+    syncImpl.setHub(&hubImpl);
+    fabric.attachGpu(id, &hubImpl);
+}
+
+TbRunContext
+GpuCore::tbContext(int num_gpus)
+{
+    TbRunContext ctx;
+    ctx.eq = &eq;
+    ctx.hub = &hubImpl;
+    ctx.sync = &syncImpl;
+    ctx.rng = &rngImpl;
+    ctx.jitterSigma = p.jitterSigma;
+    ctx.numGpus = num_gpus;
+    return ctx;
+}
+
+} // namespace cais

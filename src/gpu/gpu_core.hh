@@ -1,0 +1,60 @@
+/**
+ * @file
+ * One GPU: SM pool, TB dispatcher, hub (fabric endpoint + HBM), TB
+ * group synchronizer and a private deterministic RNG, wired together
+ * and attached to the fabric.
+ */
+
+#ifndef CAIS_GPU_GPU_CORE_HH
+#define CAIS_GPU_GPU_CORE_HH
+
+#include <memory>
+
+#include "common/rng.hh"
+#include "gpu/gpu_config.hh"
+#include "gpu/hub.hh"
+#include "gpu/sm.hh"
+#include "gpu/synchronizer.hh"
+#include "gpu/tb_scheduler.hh"
+#include "gpu/thread_block.hh"
+
+namespace cais
+{
+
+/** A fully assembled GPU model. */
+class GpuCore
+{
+  public:
+    GpuCore(EventQueue &eq, Fabric &fabric, GpuId id,
+            const GpuParams &params);
+
+    GpuCore(const GpuCore &) = delete;
+    GpuCore &operator=(const GpuCore &) = delete;
+
+    GpuId id() const { return gpuId; }
+    const GpuParams &params() const { return p; }
+
+    GpuHub &hub() { return hubImpl; }
+    Synchronizer &synchronizer() { return syncImpl; }
+    SmPool &sms() { return smPool; }
+    TbScheduler &scheduler() { return sched; }
+    Rng &rng() { return rngImpl; }
+
+    /** Context handed to thread blocks executing on this GPU. */
+    TbRunContext tbContext(int num_gpus);
+
+  private:
+    GpuId gpuId;
+    GpuParams p;
+    EventQueue &eq;
+
+    GpuHub hubImpl;
+    Synchronizer syncImpl;
+    SmPool smPool;
+    TbScheduler sched;
+    Rng rngImpl;
+};
+
+} // namespace cais
+
+#endif // CAIS_GPU_GPU_CORE_HH

@@ -1,0 +1,33 @@
+#include "gpu/hbm.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace cais
+{
+
+HbmModel::HbmModel(EventQueue &eq_, double bytes_per_cycle, Cycle latency)
+    : eq(eq_), bw(bytes_per_cycle), lat(latency)
+{
+    if (bw <= 0)
+        panic("HBM bandwidth must be positive");
+}
+
+void
+HbmModel::access(std::uint64_t bytes_, std::function<void()> done)
+{
+    Cycle now = eq.now();
+    Cycle start = std::max(now, busyUntil);
+    Cycle ser = static_cast<Cycle>(
+        std::ceil(static_cast<double>(bytes_) / bw));
+    if (ser == 0)
+        ser = 1;
+    busyUntil = start + ser;
+    busy += ser;
+    bytes.inc(bytes_);
+    accesses.inc();
+    eq.schedule(start + ser + lat, std::move(done));
+}
+
+} // namespace cais

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * HBM bandwidth model. Kernel-local traffic is folded into thread
+ * block compute costs by the workload layer; this model serializes the
+ * *fabric-facing* HBM work — serving remote reads and landing remote
+ * writes — which is what contends with inbound/outbound NVLink
+ * traffic.
+ */
+
+#ifndef CAIS_GPU_HBM_HH
+#define CAIS_GPU_HBM_HH
+
+#include <functional>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+
+namespace cais
+{
+
+/** A single bandwidth-serialized memory channel with fixed latency. */
+class HbmModel
+{
+  public:
+    HbmModel(EventQueue &eq, double bytes_per_cycle, Cycle latency);
+
+    /** Schedule an access of @p bytes; @p done fires at completion. */
+    void access(std::uint64_t bytes, std::function<void()> done);
+
+    std::uint64_t totalBytes() const { return bytes.value(); }
+    std::uint64_t totalAccesses() const { return accesses.value(); }
+    Cycle busyCycles() const { return busy; }
+
+  private:
+    EventQueue &eq;
+    double bw;
+    Cycle lat;
+    Cycle busyUntil = 0;
+
+    Counter bytes;
+    Counter accesses;
+    Cycle busy = 0;
+};
+
+} // namespace cais
+
+#endif // CAIS_GPU_HBM_HH

@@ -1,0 +1,63 @@
+#include "gpu/kernel.hh"
+
+#include "common/log.hh"
+
+namespace cais
+{
+
+bool
+isPullKind(RemoteOpKind k)
+{
+    return k == RemoteOpKind::plainLoad ||
+           k == RemoteOpKind::nvlsLdReduce ||
+           k == RemoteOpKind::caisLoad;
+}
+
+bool
+isCaisKind(RemoteOpKind k)
+{
+    return k == RemoteOpKind::caisLoad || k == RemoteOpKind::caisRed;
+}
+
+std::size_t
+KernelDesc::totalTbs() const
+{
+    std::size_t n = 0;
+    for (const auto &g : grids)
+        n += g.size();
+    return n;
+}
+
+Cycle
+KernelDesc::computeWork(GpuId gpu) const
+{
+    Cycle c = 0;
+    for (const auto &tb : grids[static_cast<std::size_t>(gpu)])
+        c += tb.computeCycles;
+    return c;
+}
+
+void
+KernelDesc::validate(int num_gpus) const
+{
+    if (grids.size() != static_cast<std::size_t>(num_gpus))
+        panic("kernel %s: grid count %zu != GPU count %d", name.c_str(),
+              grids.size(), num_gpus);
+    if (smFrom < 0.0 || smTo > 1.0 || smFrom >= smTo)
+        panic("kernel %s: bad SM partition [%f, %f)", name.c_str(),
+              smFrom, smTo);
+    for (const auto &grid : grids) {
+        for (const auto &tb : grid) {
+            for (const auto &op : tb.pullOps)
+                if (!isPullKind(op.kind))
+                    panic("kernel %s: push op in pull list",
+                          name.c_str());
+            for (const auto &op : tb.pushOps)
+                if (isPullKind(op.kind))
+                    panic("kernel %s: pull op in push list",
+                          name.c_str());
+        }
+    }
+}
+
+} // namespace cais

@@ -1,0 +1,89 @@
+#include "gpu/sm.hh"
+
+#include "common/log.hh"
+
+namespace cais
+{
+
+namespace
+{
+constexpr Cycle slotFree = ~Cycle(0);
+} // namespace
+
+SmPool::SmPool(EventQueue &eq_, int num_sms, int ctas_per_sm)
+    : eq(eq_), sms(num_sms),
+      busyAt(static_cast<std::size_t>(num_sms * ctas_per_sm), slotFree),
+      freeSlots(num_sms * ctas_per_sm)
+{
+    if (num_sms < 1 || ctas_per_sm < 1)
+        panic("bad SM pool dimensions");
+}
+
+int
+SmPool::acquire(double from, double to)
+{
+    int lo = static_cast<int>(from * sms);
+    int hi = static_cast<int>(to * sms);
+    if (hi <= lo)
+        hi = lo + 1;
+    for (std::size_t slot = 0; slot < busyAt.size(); ++slot) {
+        int sm = smOfSlot(static_cast<int>(slot));
+        if (sm < lo || sm >= hi)
+            continue;
+        if (busyAt[slot] == slotFree) {
+            busyAt[slot] = eq.now();
+            --freeSlots;
+            return static_cast<int>(slot);
+        }
+    }
+    return -1;
+}
+
+bool
+SmPool::hasFree(double from, double to) const
+{
+    int lo = static_cast<int>(from * sms);
+    int hi = static_cast<int>(to * sms);
+    if (hi <= lo)
+        hi = lo + 1;
+    for (std::size_t slot = 0; slot < busyAt.size(); ++slot) {
+        int sm = smOfSlot(static_cast<int>(slot));
+        if (sm >= lo && sm < hi && busyAt[slot] == slotFree)
+            return true;
+    }
+    return false;
+}
+
+void
+SmPool::release(int slot)
+{
+    auto idx = static_cast<std::size_t>(slot);
+    if (idx >= busyAt.size() || busyAt[idx] == slotFree)
+        panic("releasing free SM slot %d", slot);
+    accumulated += eq.now() - busyAt[idx];
+    busyAt[idx] = slotFree;
+    ++freeSlots;
+}
+
+Cycle
+SmPool::busySlotCycles() const
+{
+    Cycle total = accumulated;
+    Cycle now = eq.now();
+    for (Cycle at : busyAt)
+        if (at != slotFree)
+            total += now - at;
+    return total;
+}
+
+double
+SmPool::utilization(Cycle t) const
+{
+    if (t == 0)
+        return 0.0;
+    double denom = static_cast<double>(busyAt.size()) *
+                   static_cast<double>(t);
+    return static_cast<double>(busySlotCycles()) / denom;
+}
+
+} // namespace cais

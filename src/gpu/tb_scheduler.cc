@@ -1,0 +1,71 @@
+#include "gpu/tb_scheduler.hh"
+
+namespace cais
+{
+
+TbScheduler::TbScheduler(SmPool &pool_) : pool(pool_)
+{
+}
+
+void
+TbScheduler::enqueue(double from, double to, int priority,
+                     std::function<void(int)> dispatch)
+{
+    buckets[{priority, from, to}].fifo.push_back(std::move(dispatch));
+    pump();
+}
+
+void
+TbScheduler::pump()
+{
+    if (pumping)
+        return; // dispatch callbacks may re-enter via enqueue
+    pumping = true;
+    bool progress = true;
+    while (progress && pool.freeCount() > 0) {
+        progress = false;
+        // First pass: honor each bucket's SM partition, so kernels
+        // co-scheduled by asymmetric overlapping keep their reserved
+        // SMs while both have work.
+        for (auto &[key, bucket] : buckets) {
+            while (!bucket.fifo.empty()) {
+                int slot = pool.acquire(std::get<1>(key),
+                                        std::get<2>(key));
+                if (slot < 0)
+                    break;
+                auto dispatch = std::move(bucket.fifo.front());
+                bucket.fifo.pop_front();
+                dispatched.inc();
+                progress = true;
+                dispatch(slot);
+            }
+        }
+        // Second pass: work-conserving spill — leftover ready TBs may
+        // use any free slot instead of idling the partner partition.
+        for (auto &[key, bucket] : buckets) {
+            (void)key;
+            while (!bucket.fifo.empty()) {
+                int slot = pool.acquire(0.0, 1.0);
+                if (slot < 0)
+                    break;
+                auto dispatch = std::move(bucket.fifo.front());
+                bucket.fifo.pop_front();
+                dispatched.inc();
+                progress = true;
+                dispatch(slot);
+            }
+        }
+    }
+    pumping = false;
+}
+
+std::size_t
+TbScheduler::pendingCount() const
+{
+    std::size_t n = 0;
+    for (const auto &[key, bucket] : buckets)
+        n += bucket.fifo.size();
+    return n;
+}
+
+} // namespace cais

@@ -1,0 +1,177 @@
+#include "gpu/thread_block.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace cais
+{
+
+TbRun::TbRun(const TbRunContext &ctx_, GpuId gpu, const KernelDesc &k,
+             const TbDesc &tb_, TbId index,
+             std::function<void(TbRun &)> on_produced,
+             std::function<void(TbRun &)> on_finished)
+    : ctx(ctx_), gpuId(gpu), kernel(k), tb(tb_), idx(index),
+      onProduced(std::move(on_produced)),
+      onFinished(std::move(on_finished))
+{
+    if (!ctx.eq || !ctx.hub || !ctx.rng)
+        panic("TbRun: incomplete context");
+}
+
+void
+TbRun::start()
+{
+    // Pre-launch synchronization happens before the CTA is dispatched
+    // (System::enqueueTb); at this point the slot is owned.
+    afterLaunchSync();
+}
+
+void
+TbRun::afterLaunchSync()
+{
+    // Compute and pull-mode communication run concurrently inside the
+    // TB (double-buffered tiles); the TB advances when both are done.
+    double mult = 1.0;
+    if (ctx.jitterSigma > 0.0)
+        mult = std::clamp(ctx.rng->normal(1.0, ctx.jitterSigma),
+                          0.5, 1.8);
+    if (tb.computeCycles > 0) {
+        Cycle dur = static_cast<Cycle>(
+            static_cast<double>(tb.computeCycles) * mult);
+        if (dur == 0)
+            dur = 1;
+        ctx.eq->scheduleAfter(dur, [this] { onComputeDone(); });
+    } else {
+        computeDone = true;
+    }
+
+    bool has_cais_pull = false;
+    for (const auto &op : tb.pullOps)
+        if (isCaisKind(op.kind))
+            has_cais_pull = true;
+
+    if (tb.pullOps.empty()) {
+        loadsDone = true;
+        maybeAdvance();
+        return;
+    }
+
+    if (kernel.preAccessSync && has_cais_pull &&
+        tb.group != invalidId) {
+        // The warp stalls at its first *.cais access until all peer
+        // TBs reach the same point; independent instructions (the
+        // compute event above) keep issuing meanwhile. Participants
+        // are the G-1 requesters (the home GPU reads locally).
+        ctx.sync->requestSync(tb.group, SyncPhase::preAccess,
+                              ctx.numGpus - 1, [this] { issueLoads(); });
+    } else {
+        issueLoads();
+    }
+
+    if (computeDone)
+        maybeAdvance();
+}
+
+void
+TbRun::issueLoads()
+{
+    auto job = std::make_unique<HubJob>();
+    job->kernel = kernel.id;
+    job->tb = idx;
+    job->group = tb.group;
+    for (const auto &op : tb.pullOps) {
+        auto chunks = ctx.hub->chunkify(op);
+        job->chunks.insert(job->chunks.end(), chunks.begin(),
+                           chunks.end());
+    }
+    job->onComplete = [this] { onLoadsDone(); };
+    ctx.hub->submit(std::move(job));
+}
+
+void
+TbRun::onComputeDone()
+{
+    computeDone = true;
+    maybeAdvance();
+}
+
+void
+TbRun::onLoadsDone()
+{
+    loadsDone = true;
+    maybeAdvance();
+}
+
+void
+TbRun::maybeAdvance()
+{
+    if (!computeDone || !loadsDone || advanced)
+        return;
+    advanced = true;
+
+    // The output tile is now locally available.
+    if (onProduced)
+        onProduced(*this);
+
+    issuePushes();
+}
+
+void
+TbRun::issuePushes()
+{
+    if (tb.pushOps.empty()) {
+        finish();
+        return;
+    }
+
+    bool has_cais_push = false;
+    for (const auto &op : tb.pushOps)
+        if (isCaisKind(op.kind))
+            has_cais_push = true;
+
+    if (kernel.preAccessSync && has_cais_push &&
+        tb.group != invalidId && !pushSynced) {
+        // Align the first red.cais across the G-1 contributing GPUs
+        // (the home GPU reduces its partial locally).
+        pushSynced = true;
+        ctx.sync->requestSync(tb.group, SyncPhase::preAccess,
+                              ctx.numGpus - 1,
+                              [this] { issuePushes(); });
+        return;
+    }
+
+    auto job = std::make_unique<HubJob>();
+    job->kernel = kernel.id;
+    job->tb = idx;
+    job->group = tb.group;
+    for (const auto &op : tb.pushOps) {
+        auto chunks = ctx.hub->chunkify(op);
+        job->chunks.insert(job->chunks.end(), chunks.begin(),
+                           chunks.end());
+    }
+    // Pushes are posted writes: the CTA retires once they are handed
+    // to the memory system (the hub paces actual injection); delivery
+    // is tracked by the destination-side tile trackers.
+    ctx.hub->submit(std::move(job));
+    finish();
+}
+
+std::string
+TbRun::stateStr() const
+{
+    return strfmt("compute=%d loads=%d advanced=%d pushSynced=%d "
+                  "pulls=%zu pushes=%zu group=%d",
+                  computeDone ? 1 : 0, loadsDone ? 1 : 0,
+                  advanced ? 1 : 0, pushSynced ? 1 : 0,
+                  tb.pullOps.size(), tb.pushOps.size(), tb.group);
+}
+
+void
+TbRun::finish()
+{
+    // May destroy *this; must be the last action.
+    onFinished(*this);
+}
+
+} // namespace cais

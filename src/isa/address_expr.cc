@@ -1,0 +1,135 @@
+#include "isa/address_expr.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace cais
+{
+
+namespace
+{
+
+const char *
+varName(AddrVar v)
+{
+    switch (v) {
+      case AddrVar::gpuId: return "gpuId";
+      case AddrVar::blockIdxX: return "blockIdx.x";
+      case AddrVar::blockIdxY: return "blockIdx.y";
+      case AddrVar::threadIdxX: return "threadIdx.x";
+      case AddrVar::chunkIdx: return "chunk";
+      default: return "?";
+    }
+}
+
+} // namespace
+
+std::int64_t
+AddrBindings::get(AddrVar v) const
+{
+    switch (v) {
+      case AddrVar::gpuId: return gpuId;
+      case AddrVar::blockIdxX: return blockIdxX;
+      case AddrVar::blockIdxY: return blockIdxY;
+      case AddrVar::threadIdxX: return threadIdxX;
+      case AddrVar::chunkIdx: return chunkIdx;
+      default: panic("bad AddrVar");
+    }
+}
+
+AddressExpr
+AddressExpr::constant(std::int64_t c)
+{
+    AddressExpr e;
+    e.konst = c;
+    return e;
+}
+
+AddressExpr
+AddressExpr::term(AddrVar v, std::int64_t coeff)
+{
+    AddressExpr e;
+    e.coeffs[static_cast<int>(v)] = coeff;
+    return e;
+}
+
+AddressExpr
+AddressExpr::operator+(const AddressExpr &o) const
+{
+    AddressExpr e = *this;
+    for (std::size_t i = 0; i < coeffs.size(); ++i)
+        e.coeffs[i] += o.coeffs[i];
+    e.konst += o.konst;
+    return e;
+}
+
+AddressExpr
+AddressExpr::operator-(const AddressExpr &o) const
+{
+    AddressExpr e = *this;
+    for (std::size_t i = 0; i < coeffs.size(); ++i)
+        e.coeffs[i] -= o.coeffs[i];
+    e.konst -= o.konst;
+    return e;
+}
+
+AddressExpr
+AddressExpr::scaled(std::int64_t k) const
+{
+    AddressExpr e = *this;
+    for (auto &c : e.coeffs)
+        c *= k;
+    e.konst *= k;
+    return e;
+}
+
+AddressExpr &
+AddressExpr::addTerm(AddrVar v, std::int64_t coeff)
+{
+    coeffs[static_cast<int>(v)] += coeff;
+    return *this;
+}
+
+AddressExpr &
+AddressExpr::addConst(std::int64_t c)
+{
+    konst += c;
+    return *this;
+}
+
+std::int64_t
+AddressExpr::coeff(AddrVar v) const
+{
+    return coeffs[static_cast<int>(v)];
+}
+
+std::int64_t
+AddressExpr::eval(const AddrBindings &b) const
+{
+    std::int64_t v = konst;
+    for (int i = 0; i < static_cast<int>(AddrVar::numVars); ++i)
+        v += coeffs[i] * b.get(static_cast<AddrVar>(i));
+    return v;
+}
+
+std::string
+AddressExpr::str() const
+{
+    std::ostringstream os;
+    os << konst;
+    for (int i = 0; i < static_cast<int>(AddrVar::numVars); ++i) {
+        if (coeffs[i] != 0)
+            os << " + " << coeffs[i] << "*"
+               << varName(static_cast<AddrVar>(i));
+    }
+    return os.str();
+}
+
+bool
+AddressExpr::operator==(const AddressExpr &o) const
+{
+    return coeffs == o.coeffs && konst == o.konst;
+}
+
+} // namespace cais

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Affine address expressions over kernel launch symbols.
+ *
+ * The CAIS compiler pass (Sec. III-B of the paper) performs static
+ * index analysis on the address expressions of memory instructions to
+ * decide whether an access is GPU-invariant: if the expression does
+ * not depend on the GPU id, thread blocks with equal blockIdx on
+ * different GPUs touch identical addresses and can be grouped for
+ * in-switch merging.
+ *
+ * We model address expressions as affine combinations
+ *     c0 + sum_i coeff_i * var_i
+ * of the symbolic variables below, which covers the tiled GEMM /
+ * LayerNorm / collective kernels the paper studies.
+ */
+
+#ifndef CAIS_ISA_ADDRESS_EXPR_HH
+#define CAIS_ISA_ADDRESS_EXPR_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace cais
+{
+
+/** Symbolic variables an address expression may reference. */
+enum class AddrVar : int
+{
+    gpuId = 0,     ///< device id within the TP group
+    blockIdxX = 1, ///< CUDA blockIdx.x
+    blockIdxY = 2, ///< CUDA blockIdx.y
+    threadIdxX = 3,///< CUDA threadIdx.x (coarse; per-warp offsets)
+    chunkIdx = 4,  ///< loop induction variable over K-chunks
+    numVars = 5
+};
+
+/** Variable bindings used to evaluate an expression. */
+struct AddrBindings
+{
+    std::int64_t gpuId = 0;
+    std::int64_t blockIdxX = 0;
+    std::int64_t blockIdxY = 0;
+    std::int64_t threadIdxX = 0;
+    std::int64_t chunkIdx = 0;
+
+    std::int64_t get(AddrVar v) const;
+};
+
+/** Affine expression c0 + sum coeff[v] * v. */
+class AddressExpr
+{
+  public:
+    AddressExpr() { coeffs.fill(0); }
+
+    /** Expression consisting of just a constant. */
+    static AddressExpr constant(std::int64_t c);
+
+    /** Expression consisting of coeff * var. */
+    static AddressExpr term(AddrVar v, std::int64_t coeff);
+
+    AddressExpr operator+(const AddressExpr &o) const;
+    AddressExpr operator-(const AddressExpr &o) const;
+
+    /** Scale every coefficient and the constant by @p k. */
+    AddressExpr scaled(std::int64_t k) const;
+
+    /** Add @p coeff * @p v in place. */
+    AddressExpr &addTerm(AddrVar v, std::int64_t coeff);
+
+    /** Add a constant in place. */
+    AddressExpr &addConst(std::int64_t c);
+
+    std::int64_t coeff(AddrVar v) const;
+    std::int64_t constantPart() const { return konst; }
+
+    /** True if the coefficient of @p v is non-zero. */
+    bool dependsOn(AddrVar v) const { return coeff(v) != 0; }
+
+    /**
+     * Core of the paper's static index analysis: the access is
+     * GPU-invariant iff the expression has no gpuId term.
+     */
+    bool gpuInvariant() const { return !dependsOn(AddrVar::gpuId); }
+
+    /** Evaluate under the given bindings. */
+    std::int64_t eval(const AddrBindings &b) const;
+
+    /** Human-readable rendering for diagnostics. */
+    std::string str() const;
+
+    bool operator==(const AddressExpr &o) const;
+
+  private:
+    std::array<std::int64_t, static_cast<int>(AddrVar::numVars)> coeffs{};
+    std::int64_t konst = 0;
+};
+
+} // namespace cais
+
+#endif // CAIS_ISA_ADDRESS_EXPR_HH

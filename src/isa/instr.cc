@@ -1,0 +1,88 @@
+#include "isa/instr.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace cais
+{
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::ldGlobal: return "ld.global";
+      case Opcode::stGlobal: return "st.global";
+      case Opcode::redGlobal: return "red.global";
+      case Opcode::multimemSt: return "multimem.st";
+      case Opcode::multimemLdReduce: return "multimem.ld_reduce";
+      case Opcode::multimemRed: return "multimem.red";
+      case Opcode::ldCais: return "ld.cais";
+      case Opcode::redCais: return "red.cais";
+      default: panic("bad opcode");
+    }
+}
+
+bool
+isCais(Opcode op)
+{
+    return op == Opcode::ldCais || op == Opcode::redCais;
+}
+
+bool
+isMultimem(Opcode op)
+{
+    return op == Opcode::multimemSt || op == Opcode::multimemLdReduce ||
+           op == Opcode::multimemRed;
+}
+
+CommMode
+commMode(Opcode op)
+{
+    switch (op) {
+      case Opcode::ldGlobal:
+      case Opcode::stGlobal:
+      case Opcode::redGlobal:
+        return CommMode::local;
+      case Opcode::multimemSt:
+      case Opcode::multimemRed:
+      case Opcode::redCais:
+        return CommMode::push;
+      case Opcode::multimemLdReduce:
+      case Opcode::ldCais:
+        return CommMode::pull;
+      default: panic("bad opcode");
+    }
+}
+
+MemSemantic
+memSemantic(Opcode op)
+{
+    switch (op) {
+      case Opcode::ldGlobal:
+      case Opcode::multimemLdReduce:
+      case Opcode::ldCais:
+        return MemSemantic::read;
+      case Opcode::stGlobal:
+      case Opcode::redGlobal:
+      case Opcode::multimemSt:
+      case Opcode::multimemRed:
+      case Opcode::redCais:
+        return MemSemantic::write;
+      default: panic("bad opcode");
+    }
+}
+
+std::string
+MemInstr::str() const
+{
+    std::ostringstream os;
+    os << opcodeName(op) << " [" << addr.str() << "] ("
+       << bytesPerTb << " B/TB";
+    if (caisFlag)
+        os << ", cais";
+    os << ")";
+    return os.str();
+}
+
+} // namespace cais

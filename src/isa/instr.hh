@@ -1,0 +1,85 @@
+/**
+ * @file
+ * PTX-level instruction descriptors for the memory/communication
+ * operations CAIS reasons about, including the stock NVLS multimem
+ * instructions and the paper's `ld.cais` / `red.cais` extensions
+ * (Fig. 4).
+ *
+ * Instructions here are *descriptors*, not executable code: the GPU
+ * model interprets them per thread block, and the compiler pass
+ * rewrites eligible plain accesses into their CAIS variants.
+ */
+
+#ifndef CAIS_ISA_INSTR_HH
+#define CAIS_ISA_INSTR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/address_expr.hh"
+
+namespace cais
+{
+
+/** Opcodes of the modelled memory/communication instructions. */
+enum class Opcode : std::uint8_t
+{
+    ldGlobal,          ///< plain load (possibly remote via P2P)
+    stGlobal,          ///< plain store (possibly remote via P2P)
+    redGlobal,         ///< plain reduction (read-modify-write)
+    multimemSt,        ///< NVLS push-mode multicast store
+    multimemLdReduce,  ///< NVLS pull-mode load-and-reduce
+    multimemRed,       ///< NVLS push-mode reduction
+    ldCais,            ///< CAIS mergeable load (pull mode)
+    redCais,           ///< CAIS mergeable reduction (push mode)
+};
+
+/** Communication mode of an opcode per Fig. 1(g) of the paper. */
+enum class CommMode : std::uint8_t { local, push, pull };
+
+/** Memory semantic (what the compute kernel requires). */
+enum class MemSemantic : std::uint8_t { read, write };
+
+/** Render an opcode in PTX-like syntax. */
+const char *opcodeName(Opcode op);
+
+/** True for the paper's CAIS-flagged instructions. */
+bool isCais(Opcode op);
+
+/** True for stock NVLS multimem instructions. */
+bool isMultimem(Opcode op);
+
+/** Push/pull/local classification (Fig. 1(g)). */
+CommMode commMode(Opcode op);
+
+/** Read/write classification. */
+MemSemantic memSemantic(Opcode op);
+
+/**
+ * One memory/communication instruction of a kernel, parameterized by
+ * an affine address expression; `bytesPerTb` is the total data touched
+ * by one thread block through this instruction.
+ */
+struct MemInstr
+{
+    Opcode op = Opcode::ldGlobal;
+    AddressExpr addr;
+    std::uint64_t bytesPerTb = 0;
+
+    /** The access may resolve to a peer GPU's memory (global shared
+     *  tensor), making it a candidate for in-switch merging. */
+    bool remote = false;
+
+    /**
+     * The 1-bit CAIS flag of Fig. 4. Set by the compiler's lowering
+     * pass; the switch only considers flagged requests for merging.
+     */
+    bool caisFlag = false;
+
+    /** Diagnostic rendering, e.g. "ld.cais [128 + 64*blockIdx.x]". */
+    std::string str() const;
+};
+
+} // namespace cais
+
+#endif // CAIS_ISA_INSTR_HH

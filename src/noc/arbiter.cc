@@ -1,0 +1,28 @@
+#include "noc/arbiter.hh"
+
+#include "common/log.hh"
+
+namespace cais
+{
+
+RoundRobinArbiter::RoundRobinArbiter(int num_inputs)
+    : n(num_inputs), last(num_inputs - 1)
+{
+    if (num_inputs <= 0)
+        panic("arbiter needs at least one input");
+}
+
+int
+RoundRobinArbiter::pick(const std::function<bool(int)> &ready)
+{
+    for (int i = 1; i <= n; ++i) {
+        int idx = (last + i) % n;
+        if (ready(idx)) {
+            last = idx;
+            return idx;
+        }
+    }
+    return -1;
+}
+
+} // namespace cais

@@ -1,0 +1,122 @@
+#include "noc/credit_link.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace cais
+{
+
+CreditLink::CreditLink(EventQueue &eq_, std::string name,
+                       double bytes_per_cycle, Cycle latency, int num_vcs,
+                       int vc_credits, Cycle util_bin_width)
+    : eq(eq_), linkName(std::move(name)), bw(bytes_per_cycle),
+      lat(latency), queues(static_cast<std::size_t>(num_vcs)),
+      creditCount(static_cast<std::size_t>(num_vcs), vc_credits),
+      arb(num_vcs), util(util_bin_width)
+{
+    if (bw <= 0.0)
+        panic("link %s: non-positive bandwidth", linkName.c_str());
+}
+
+void
+CreditLink::setDequeueCallback(std::function<void(int)> cb)
+{
+    dequeueCb = std::move(cb);
+}
+
+void
+CreditLink::send(Packet &&pkt)
+{
+    int vc = static_cast<int>(pkt.vc);
+    if (vc < 0 || vc >= numVcs())
+        panic("link %s: bad VC %d", linkName.c_str(), vc);
+    queues[static_cast<std::size_t>(vc)].push_back(std::move(pkt));
+    tryIssue();
+}
+
+void
+CreditLink::returnCredit(int vc)
+{
+    // The credit travels the reverse channel; charge the link latency
+    // but no serialization (credits ride dedicated wires).
+    eq.scheduleAfter(lat, [this, vc] {
+        ++creditCount[static_cast<std::size_t>(vc)];
+        tryIssue();
+    });
+}
+
+std::size_t
+CreditLink::totalQueued() const
+{
+    std::size_t n = 0;
+    for (const auto &q : queues)
+        n += q.size();
+    return n;
+}
+
+void
+CreditLink::tryIssue()
+{
+    if (eq.now() < busyUntil) {
+        if (!wakeScheduled) {
+            wakeScheduled = true;
+            eq.schedule(busyUntil, [this] {
+                wakeScheduled = false;
+                tryIssue();
+            });
+        }
+        return;
+    }
+
+    int vc = arb.pick([this](int i) {
+        auto idx = static_cast<std::size_t>(i);
+        return !queues[idx].empty() && creditCount[idx] > 0;
+    });
+    if (vc < 0)
+        return;
+
+    auto idx = static_cast<std::size_t>(vc);
+    Packet pkt = std::move(queues[idx].front());
+    queues[idx].pop_front();
+    --creditCount[idx];
+
+    Cycle ser = static_cast<Cycle>(
+        std::ceil(static_cast<double>(pkt.wireBytes()) / bw));
+    if (ser == 0)
+        ser = 1;
+
+    Cycle start = eq.now();
+    busyUntil = start + ser;
+    busy += ser;
+    util.recordInterval(start, start + ser,
+                        static_cast<double>(pkt.wireBytes()));
+    wireBytes.inc(pkt.wireBytes());
+    payloadBytes.inc(pkt.payloadBytes);
+    packets.inc();
+
+    if (dequeueCb)
+        dequeueCb(vc);
+
+    if (!sink)
+        panic("link %s has no sink", linkName.c_str());
+
+    // Deliver after serialization plus propagation.
+    Cycle deliver_at = start + ser + lat;
+    // Move the payload into the deliver event.
+    eq.schedule(deliver_at,
+                [this, p = std::move(pkt), vc]() mutable {
+        sink->acceptPacket(std::move(p), this, vc);
+    });
+
+    // Keep draining back-to-back.
+    if (!wakeScheduled) {
+        wakeScheduled = true;
+        eq.schedule(busyUntil, [this] {
+            wakeScheduled = false;
+            tryIssue();
+        });
+    }
+}
+
+} // namespace cais

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unidirectional NVLink model with credit-based virtual-channel flow
+ * control and a shared serializer.
+ *
+ * The sender side holds unbounded per-VC queues (upstream components
+ * apply their own throttling); a packet may start serializing only
+ * when the receiver-side VC buffer has a free slot (credit). The
+ * serializer round-robins across eligible VCs. Link occupancy is
+ * recorded into a TimeSeries for bandwidth-utilization studies
+ * (Figs. 15/16 of the paper).
+ */
+
+#ifndef CAIS_NOC_CREDIT_LINK_HH
+#define CAIS_NOC_CREDIT_LINK_HH
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "noc/arbiter.hh"
+#include "noc/packet.hh"
+
+namespace cais
+{
+
+class CreditLink;
+
+/** Anything that terminates a link: a switch input port or a GPU. */
+class PacketSink
+{
+  public:
+    virtual ~PacketSink() = default;
+
+    /**
+     * Deliver a packet. The sink must eventually call
+     * from->returnCredit(vc) to free the receive-buffer slot.
+     */
+    virtual void acceptPacket(Packet &&pkt, CreditLink *from, int vc) = 0;
+};
+
+/** One direction of an NVLink between a GPU and a switch. */
+class CreditLink
+{
+  public:
+    CreditLink(EventQueue &eq, std::string name, double bytes_per_cycle,
+               Cycle latency, int num_vcs, int vc_credits,
+               Cycle util_bin_width);
+
+    void setSink(PacketSink *s) { sink = s; }
+
+    /** Notified with the VC index whenever a packet starts the wire. */
+    void setDequeueCallback(std::function<void(int)> cb);
+
+    /** Enqueue a packet on its VC; serialization starts when eligible. */
+    void send(Packet &&pkt);
+
+    /** Free one receive-buffer slot; the credit flies back upstream. */
+    void returnCredit(int vc);
+
+    double bytesPerCycle() const { return bw; }
+    Cycle latencyCycles() const { return lat; }
+    int numVcs() const { return static_cast<int>(queues.size()); }
+
+    std::size_t queueLen(int vc) const { return queues[vc].size(); }
+    std::size_t totalQueued() const;
+    int credits(int vc) const { return creditCount[vc]; }
+
+    const std::string &name() const { return linkName; }
+
+    /** Wire bytes accumulated into time bins. */
+    const TimeSeries &utilization() const { return util; }
+
+    std::uint64_t totalWireBytes() const { return wireBytes.value(); }
+    std::uint64_t totalPayloadBytes() const { return payloadBytes.value(); }
+    std::uint64_t totalPackets() const { return packets.value(); }
+    Cycle busyCycles() const { return busy; }
+
+  private:
+    /** Try to start serializing the next eligible packet. */
+    void tryIssue();
+
+    EventQueue &eq;
+    std::string linkName;
+    double bw;
+    Cycle lat;
+
+    std::vector<std::deque<Packet>> queues;
+    std::vector<int> creditCount;
+    RoundRobinArbiter arb;
+    PacketSink *sink = nullptr;
+    std::function<void(int)> dequeueCb;
+
+    Cycle busyUntil = 0;
+    bool wakeScheduled = false;
+
+    TimeSeries util;
+    Counter wireBytes;
+    Counter payloadBytes;
+    Counter packets;
+    Cycle busy = 0;
+};
+
+} // namespace cais
+
+#endif // CAIS_NOC_CREDIT_LINK_HH

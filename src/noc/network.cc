@@ -1,0 +1,166 @@
+#include "noc/network.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace cais
+{
+
+Fabric::Fabric(EventQueue &eq_, const FabricParams &params)
+    : eq(eq_), p(params), route(params.numSwitches, params.interleaveBytes)
+{
+    p.validate();
+
+    double link_bw = p.perLinkBytesPerCycle();
+
+    switches.reserve(static_cast<std::size_t>(p.numSwitches));
+    for (SwitchId s = 0; s < p.numSwitches; ++s) {
+        switches.push_back(std::make_unique<SwitchChip>(
+            eq, s, switchNodeId(s), p.numGpus, p.sw));
+    }
+
+    up.resize(static_cast<std::size_t>(p.numGpus));
+    down.resize(static_cast<std::size_t>(p.numSwitches));
+    for (SwitchId s = 0; s < p.numSwitches; ++s)
+        down[static_cast<std::size_t>(s)].resize(
+            static_cast<std::size_t>(p.numGpus));
+
+    for (GpuId g = 0; g < p.numGpus; ++g) {
+        auto &row = up[static_cast<std::size_t>(g)];
+        row.resize(static_cast<std::size_t>(p.numSwitches));
+        for (SwitchId s = 0; s < p.numSwitches; ++s) {
+            row[static_cast<std::size_t>(s)] = std::make_unique<CreditLink>(
+                eq, strfmt("up.g%d.s%d", g, s), link_bw, p.linkLatency,
+                p.sw.numVcs, p.vcCredits, p.utilBinWidth);
+            switches[static_cast<std::size_t>(s)]->attachUplink(
+                g, row[static_cast<std::size_t>(s)].get());
+
+            auto dl = std::make_unique<CreditLink>(
+                eq, strfmt("dn.s%d.g%d", s, g), link_bw, p.linkLatency,
+                p.sw.numVcs, p.vcCredits, p.utilBinWidth);
+            switches[static_cast<std::size_t>(s)]->attachDownlink(
+                g, dl.get());
+            down[static_cast<std::size_t>(s)][static_cast<std::size_t>(g)] =
+                std::move(dl);
+        }
+    }
+}
+
+void
+Fabric::attachGpu(GpuId g, PacketSink *sink)
+{
+    for (SwitchId s = 0; s < p.numSwitches; ++s)
+        down[static_cast<std::size_t>(s)][static_cast<std::size_t>(g)]
+            ->setSink(sink);
+}
+
+void
+Fabric::sendFromGpu(GpuId g, Packet &&pkt)
+{
+    pkt.vc = policedVc(pkt.vc, p.sw.unifiedDataVc);
+    SwitchId s;
+    if (isSwitchNode(pkt.dst)) {
+        s = pkt.dst - p.numGpus;
+    } else if (pkt.type == PacketType::groupSyncReq) {
+        s = route.switchForGroup(pkt.group);
+    } else {
+        s = route.switchForAddr(pkt.addr);
+    }
+    up[static_cast<std::size_t>(g)][static_cast<std::size_t>(s)]->send(
+        std::move(pkt));
+}
+
+CreditLink &
+Fabric::uplink(GpuId g, SwitchId s)
+{
+    return *up[static_cast<std::size_t>(g)][static_cast<std::size_t>(s)];
+}
+
+CreditLink &
+Fabric::downlink(SwitchId s, GpuId g)
+{
+    return *down[static_cast<std::size_t>(s)][static_cast<std::size_t>(g)];
+}
+
+std::vector<const CreditLink *>
+Fabric::allLinks(int dir) const
+{
+    std::vector<const CreditLink *> ls;
+    if (dir == 0 || dir == 2)
+        for (const auto &row : up)
+            for (const auto &l : row)
+                ls.push_back(l.get());
+    if (dir == 1 || dir == 2)
+        for (const auto &row : down)
+            for (const auto &l : row)
+                ls.push_back(l.get());
+    return ls;
+}
+
+double
+Fabric::linkSetUtilization(const std::vector<const CreditLink *> &ls,
+                           Cycle t0, Cycle t1) const
+{
+    if (ls.empty() || t1 <= t0)
+        return 0.0;
+    double total = 0.0;
+    for (const auto *l : ls) {
+        const TimeSeries &u = l->utilization();
+        Cycle w = u.binWidth();
+        std::size_t first = static_cast<std::size_t>(t0 / w);
+        std::size_t last = static_cast<std::size_t>((t1 + w - 1) / w);
+        double bytes = 0.0;
+        for (std::size_t i = first; i < last; ++i)
+            bytes += u.binValue(i);
+        double cap = l->bytesPerCycle() * static_cast<double>(t1 - t0);
+        total += std::min(1.0, bytes / cap);
+    }
+    return total / static_cast<double>(ls.size());
+}
+
+double
+Fabric::avgUtilization(Cycle t0, Cycle t1) const
+{
+    return linkSetUtilization(allLinks(2), t0, t1);
+}
+
+double
+Fabric::dirUtilization(bool up_dir, Cycle t0, Cycle t1) const
+{
+    return linkSetUtilization(allLinks(up_dir ? 0 : 1), t0, t1);
+}
+
+std::vector<double>
+Fabric::utilizationSeries(Cycle t0, Cycle t1) const
+{
+    auto ls = allLinks(2);
+    std::vector<double> out;
+    if (ls.empty() || t1 <= t0)
+        return out;
+    Cycle w = p.utilBinWidth;
+    std::size_t first = static_cast<std::size_t>(t0 / w);
+    std::size_t last = static_cast<std::size_t>((t1 + w - 1) / w);
+    out.assign(last - first, 0.0);
+    for (const auto *l : ls) {
+        double cap = l->bytesPerCycle() * static_cast<double>(w);
+        for (std::size_t i = first; i < last; ++i) {
+            out[i - first] +=
+                std::min(1.0, l->utilization().binValue(i) / cap);
+        }
+    }
+    for (auto &v : out)
+        v /= static_cast<double>(ls.size());
+    return out;
+}
+
+std::uint64_t
+Fabric::totalWireBytes() const
+{
+    std::uint64_t n = 0;
+    for (const auto *l : allLinks(2))
+        n += l->totalWireBytes();
+    return n;
+}
+
+} // namespace cais

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The assembled NVLink/NVSwitch fabric: switches, links, deterministic
+ * routing, GPU attachment points, and fleet-wide utilization probes.
+ */
+
+#ifndef CAIS_NOC_NETWORK_HH
+#define CAIS_NOC_NETWORK_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "noc/credit_link.hh"
+#include "noc/routing.hh"
+#include "noc/topology.hh"
+
+namespace cais
+{
+
+/** A fully wired multi-GPU fabric. */
+class Fabric
+{
+  public:
+    Fabric(EventQueue &eq, const FabricParams &params);
+
+    Fabric(const Fabric &) = delete;
+    Fabric &operator=(const Fabric &) = delete;
+
+    /** Attach the GPU's packet sink to all its downlinks. */
+    void attachGpu(GpuId g, PacketSink *sink);
+
+    /**
+     * Inject a packet from GPU @p g. The serving switch is chosen
+     * deterministically: group hash for sync traffic, address hash
+     * for everything else, unless pkt.dst already names a switch.
+     */
+    void sendFromGpu(GpuId g, Packet &&pkt);
+
+    SwitchId routeAddr(Addr a) const { return route.switchForAddr(a); }
+    SwitchId routeGroup(GroupId g) const { return route.switchForGroup(g); }
+
+    int switchNodeId(SwitchId s) const { return p.numGpus + s; }
+    bool isSwitchNode(int node) const
+    {
+        return node >= p.numGpus && node < p.numGpus + p.numSwitches;
+    }
+
+    SwitchChip &switchChip(SwitchId s) { return *switches[s]; }
+    const SwitchChip &switchChip(SwitchId s) const { return *switches[s]; }
+
+    CreditLink &uplink(GpuId g, SwitchId s);
+    CreditLink &downlink(SwitchId s, GpuId g);
+
+    const FabricParams &params() const { return p; }
+    const DeterministicRouting &routing() const { return route; }
+
+    /**
+     * Mean link utilization in [t0, t1) as a fraction of capacity,
+     * averaged over all links and both directions (the metric of
+     * Fig. 15).
+     */
+    double avgUtilization(Cycle t0, Cycle t1) const;
+
+    /** Same, restricted to one direction (up = GPU-to-switch). */
+    double dirUtilization(bool up, Cycle t0, Cycle t1) const;
+
+    /**
+     * Per-bin utilization fraction averaged over all links for bins
+     * covering [t0, t1) (the series of Fig. 16).
+     */
+    std::vector<double> utilizationSeries(Cycle t0, Cycle t1) const;
+
+    /** Total wire bytes moved on all links. */
+    std::uint64_t totalWireBytes() const;
+
+  private:
+    double linkSetUtilization(const std::vector<const CreditLink *> &ls,
+                              Cycle t0, Cycle t1) const;
+    std::vector<const CreditLink *> allLinks(int dir) const; // 0 up,1 dn,2 both
+
+    EventQueue &eq;
+    FabricParams p;
+    DeterministicRouting route;
+
+    std::vector<std::unique_ptr<SwitchChip>> switches;
+    // up[g][s]: GPU g -> switch s; down[s][g]: switch s -> GPU g.
+    std::vector<std::vector<std::unique_ptr<CreditLink>>> up;
+    std::vector<std::vector<std::unique_ptr<CreditLink>>> down;
+};
+
+} // namespace cais
+
+#endif // CAIS_NOC_NETWORK_HH

@@ -1,0 +1,42 @@
+#include "noc/routing.hh"
+
+#include "common/log.hh"
+
+namespace cais
+{
+
+DeterministicRouting::DeterministicRouting(int num_switches,
+                                           std::uint64_t interleave_bytes)
+    : switches(num_switches), interleave(interleave_bytes)
+{
+    if (num_switches <= 0)
+        panic("need at least one switch");
+    if (interleave_bytes == 0)
+        panic("interleave granularity must be non-zero");
+}
+
+std::uint64_t
+DeterministicRouting::mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+SwitchId
+DeterministicRouting::switchForAddr(Addr addr) const
+{
+    return static_cast<SwitchId>(
+        mix64(addr / interleave) % static_cast<std::uint64_t>(switches));
+}
+
+SwitchId
+DeterministicRouting::switchForGroup(GroupId g) const
+{
+    return static_cast<SwitchId>(
+        mix64(static_cast<std::uint64_t>(g) ^ 0xc0ffee) %
+        static_cast<std::uint64_t>(switches));
+}
+
+} // namespace cais

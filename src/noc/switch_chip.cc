@@ -1,0 +1,149 @@
+#include "noc/switch_chip.hh"
+
+#include "common/log.hh"
+
+namespace cais
+{
+
+SwitchChip::SwitchChip(EventQueue &eq_, SwitchId id, int node_id,
+                       int num_gpus, const SwitchParams &params)
+    : eq(eq_), switchId(id), node(node_id), p(params),
+      inPorts(static_cast<std::size_t>(num_gpus)),
+      outPorts(static_cast<std::size_t>(num_gpus)),
+      waiting(static_cast<std::size_t>(num_gpus),
+              std::vector<std::vector<std::pair<int, int>>>(
+                  static_cast<std::size_t>(params.numVcs)))
+{
+    for (auto &port : inPorts) {
+        port.vcs.assign(static_cast<std::size_t>(p.numVcs),
+                        VirtualChannel(static_cast<std::size_t>(p.vcDepth)));
+        port.busy.assign(static_cast<std::size_t>(p.numVcs), false);
+    }
+}
+
+void
+SwitchChip::attachUplink(GpuId g, CreditLink *from_gpu)
+{
+    inPorts[static_cast<std::size_t>(g)].link = from_gpu;
+    portOf[from_gpu] = g;
+    from_gpu->setSink(this);
+}
+
+void
+SwitchChip::attachDownlink(GpuId g, CreditLink *to_gpu)
+{
+    outPorts[static_cast<std::size_t>(g)] =
+        std::make_unique<OutputPort>(to_gpu, p.outQueueDepth);
+    outPorts[static_cast<std::size_t>(g)]->setSpaceCallback(
+        [this, g](int vc) { onDownlinkSpace(g, vc); });
+}
+
+void
+SwitchChip::acceptPacket(Packet &&pkt, CreditLink *from, int vc)
+{
+    auto it = portOf.find(from);
+    if (it == portOf.end())
+        panic("switch %d: packet from unknown link", switchId);
+    int port = it->second;
+    auto &in = inPorts[static_cast<std::size_t>(port)];
+    in.vcs[static_cast<std::size_t>(vc)].push(std::move(pkt));
+    if (!in.busy[static_cast<std::size_t>(vc)]) {
+        in.busy[static_cast<std::size_t>(vc)] = true;
+        scheduleProcess(port, vc, p.pipelineDelay);
+    }
+}
+
+void
+SwitchChip::scheduleProcess(int port, int vc, Cycle delay)
+{
+    eq.scheduleAfter(delay, [this, port, vc] { processHead(port, vc); });
+}
+
+void
+SwitchChip::processHead(int port, int vc)
+{
+    auto &in = inPorts[static_cast<std::size_t>(port)];
+    auto &buf = in.vcs[static_cast<std::size_t>(vc)];
+    if (buf.empty()) {
+        in.busy[static_cast<std::size_t>(vc)] = false;
+        return;
+    }
+
+    Packet &head = buf.front();
+
+    if (handler && handler->wants(head)) {
+        Packet pkt = buf.pop();
+        in.link->returnCredit(vc);
+        consumed.inc();
+        handler->handlePacket(std::move(pkt));
+        scheduleProcess(port, vc, p.perPacketProcess);
+        return;
+    }
+
+    // Plain unicast forward toward a GPU.
+    GpuId dst = head.dst;
+    if (dst < 0 || dst >= numGpus())
+        panic("switch %d: cannot route packet type %s to node %d",
+              switchId, packetTypeName(head.type), dst);
+
+    auto &out = outPorts[static_cast<std::size_t>(dst)];
+    if (!out->canAccept(head.vc)) {
+        // Head-of-line block: park until the output VC drains. The VC
+        // stays busy (no service event) and resumes via
+        // onDownlinkSpace.
+        waiting[static_cast<std::size_t>(dst)]
+               [static_cast<std::size_t>(head.vc)]
+                   .emplace_back(port, vc);
+        return;
+    }
+
+    Packet pkt = buf.pop();
+    in.link->returnCredit(vc);
+    forwarded.inc();
+    out->enqueue(std::move(pkt));
+    scheduleProcess(port, vc, p.perPacketProcess);
+}
+
+void
+SwitchChip::onDownlinkSpace(GpuId g, int vc)
+{
+    auto &list = waiting[static_cast<std::size_t>(g)]
+                        [static_cast<std::size_t>(vc)];
+    if (list.empty())
+        return;
+    // Wake all parked heads; they re-check space in arrival order.
+    auto parked = std::move(list);
+    list.clear();
+    for (auto [port, in_vc] : parked)
+        scheduleProcess(port, in_vc, 0);
+}
+
+void
+SwitchChip::sendToGpu(Packet &&pkt)
+{
+    GpuId dst = pkt.dst;
+    if (dst < 0 || dst >= numGpus())
+        panic("switch %d: sendToGpu to bad node %d", switchId, dst);
+    pkt.vc = policedVc(pkt.vc, p.unifiedDataVc);
+    generated.inc();
+    outPorts[static_cast<std::size_t>(dst)]->enqueueForced(std::move(pkt));
+}
+
+std::size_t
+SwitchChip::downlinkQueue(GpuId g, VcClass vc) const
+{
+    return outPorts[static_cast<std::size_t>(g)]->link()->queueLen(
+        static_cast<int>(vc));
+}
+
+std::size_t
+SwitchChip::peakInputOccupancy() const
+{
+    std::size_t peak = 0;
+    for (const auto &port : inPorts)
+        for (const auto &vc : port.vcs)
+            peak = std::max(peak, vc.peakOccupancy());
+    return peak;
+}
+
+} // namespace cais

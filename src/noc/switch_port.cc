@@ -1,0 +1,42 @@
+#include "noc/switch_port.hh"
+
+#include "common/log.hh"
+
+namespace cais
+{
+
+OutputPort::OutputPort(CreditLink *link, int max_queue_per_vc)
+    : out(link), maxPerVc(max_queue_per_vc)
+{
+    if (!out)
+        panic("output port without link");
+}
+
+bool
+OutputPort::canAccept(VcClass vc) const
+{
+    return out->queueLen(static_cast<int>(vc)) <
+           static_cast<std::size_t>(maxPerVc);
+}
+
+void
+OutputPort::enqueue(Packet &&pkt)
+{
+    if (!canAccept(pkt.vc))
+        panic("output port overflow on %s", out->name().c_str());
+    out->send(std::move(pkt));
+}
+
+void
+OutputPort::enqueueForced(Packet &&pkt)
+{
+    out->send(std::move(pkt));
+}
+
+void
+OutputPort::setSpaceCallback(std::function<void(int)> cb)
+{
+    out->setDequeueCallback(std::move(cb));
+}
+
+} // namespace cais

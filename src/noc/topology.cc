@@ -1,0 +1,39 @@
+#include "noc/topology.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace cais
+{
+
+void
+FabricParams::validate() const
+{
+    if (numGpus < 2)
+        fatal("fabric needs at least 2 GPUs (got %d)", numGpus);
+    if (numSwitches < 1)
+        fatal("fabric needs at least 1 switch (got %d)", numSwitches);
+    if (perGpuBytesPerCycle <= 0.0)
+        fatal("per-GPU bandwidth must be positive");
+    if (vcCredits < 1 || sw.vcDepth < 1)
+        fatal("VC buffering must be at least one packet");
+    if (sw.numVcs < static_cast<int>(VcClass::numClasses))
+        fatal("switch needs >= %d VCs (got %d)",
+              static_cast<int>(VcClass::numClasses), sw.numVcs);
+    if (interleaveBytes == 0)
+        fatal("interleave granularity must be non-zero");
+}
+
+std::string
+FabricParams::str() const
+{
+    std::ostringstream os;
+    os << numGpus << " GPUs x " << numSwitches << " switches, "
+       << perGpuBytesPerCycle << " B/cyc per GPU per direction ("
+       << perLinkBytesPerCycle() << " per link), latency "
+       << linkLatency << " cyc";
+    return os.str();
+}
+
+} // namespace cais

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fabric topology description for DGX-like systems: every GPU has one
+ * up and one down link to every switch chip, replicating the
+ * DGX-H100's 8-GPU / 4-NVSwitch arrangement by default. Per-GPU
+ * injection bandwidth is split evenly across the switches.
+ */
+
+#ifndef CAIS_NOC_TOPOLOGY_HH
+#define CAIS_NOC_TOPOLOGY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "noc/switch_chip.hh"
+
+namespace cais
+{
+
+/** Parameters of the whole NVLink/NVSwitch fabric. */
+struct FabricParams
+{
+    int numGpus = 8;
+    int numSwitches = 4;
+
+    /**
+     * Per-GPU injection/ejection bandwidth per direction, in bytes
+     * per cycle (== GB/s), aggregated over all switches. 450 matches
+     * an H100's 900 GB/s bidirectional NVLink budget.
+     */
+    double perGpuBytesPerCycle = 450.0;
+
+    /** One-way GPU<->switch propagation latency (250 ns per paper). */
+    Cycle linkLatency = 250;
+
+    /** Address interleave granularity for deterministic routing. */
+    std::uint64_t interleaveBytes = 4096;
+
+    /** Bin width for link-utilization time series. */
+    Cycle utilBinWidth = 1000;
+
+    /** Receive-buffer credits per VC (matches switch vcDepth). */
+    int vcCredits = 256;
+
+    SwitchParams sw;
+
+    /** Per-link bandwidth in bytes/cycle for one GPU-switch pair. */
+    double perLinkBytesPerCycle() const
+    {
+        return perGpuBytesPerCycle / static_cast<double>(numSwitches);
+    }
+
+    /** Abort with a message if the configuration is inconsistent. */
+    void validate() const;
+
+    std::string str() const;
+};
+
+} // namespace cais
+
+#endif // CAIS_NOC_TOPOLOGY_HH

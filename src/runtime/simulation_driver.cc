@@ -1,0 +1,148 @@
+#include "runtime/simulation_driver.hh"
+
+#include <cmath>
+
+#include "analysis/trace.hh"
+#include "common/log.hh"
+
+namespace cais
+{
+
+SystemConfig
+RunConfig::toSystemConfig(const StrategySpec &spec) const
+{
+    SystemConfig sc;
+    sc.fabric.numGpus = numGpus;
+    sc.fabric.numSwitches = numSwitches;
+    sc.fabric.perGpuBytesPerCycle = perGpuBwPerDir;
+    sc.fabric.linkLatency = linkLatency;
+    sc.fabric.interleaveBytes = chunkBytes;
+    sc.fabric.utilBinWidth = utilBinWidth;
+    sc.fabric.sw.unifiedDataVc = spec.unifiedDataVc;
+
+    sc.gpu = gpu;
+    sc.gpu.chunkBytes = chunkBytes;
+
+    sc.inswitch.merge.chunkBytes = chunkBytes;
+    std::uint64_t table_bytes = mergeTableBytesPerPort
+        ? mergeTableBytesPerPort
+        : static_cast<std::uint64_t>(mergeTableEntriesPerPort) *
+              chunkBytes;
+    sc.inswitch.merge.tableBytesPerPort =
+        unboundedMergeTable ? 0 : table_bytes;
+    sc.inswitch.merge.timeout = mergeTimeout;
+    sc.inswitch.merge.throttleEnabled = spec.opts.caisCoordination;
+
+    sc.maxEvents = maxEvents;
+    return sc;
+}
+
+RunResult
+runGraph(const StrategySpec &spec, const OpGraph &graph,
+         const RunConfig &cfg, const std::string &workload_name)
+{
+    System sys(cfg.toSystemConfig(spec));
+    GraphLowering lowering(sys, graph, spec.opts);
+    lowering.lower();
+    sys.run();
+
+    RunResult r;
+    r.strategy = spec.name;
+    r.workload = workload_name;
+    r.makespan = sys.makespan();
+
+    Cycle end = r.makespan ? r.makespan : 1;
+    r.avgUtil = sys.fabric().avgUtilization(0, end);
+    r.upUtil = sys.fabric().dirUtilization(true, 0, end);
+    r.dnUtil = sys.fabric().dirUtilization(false, 0, end);
+    r.gpuUtil = sys.gpuUtilization();
+    r.wireBytes = sys.fabric().totalWireBytes();
+    r.utilSeries = sys.fabric().utilizationSeries(0, end);
+    r.utilBinWidth = cfg.utilBinWidth;
+
+    for (SwitchId s = 0; s < sys.numSwitches(); ++s) {
+        const MergeUnit &mu = sys.switchCompute(s).merge();
+        const MergeStats &ms = mu.stats();
+        r.mergeLoadReqs += ms.loadReqs.value();
+        r.mergeRedReqs += ms.redReqs.value();
+        r.mergeLoadHits += ms.loadHits.value();
+        r.mergeRedHits += ms.redHits.value();
+        r.mergeFetches += ms.fetches.value();
+        r.sessionsClosed += ms.sessionsClosed.value();
+        r.lruEvictions += mu.evictionStats().lruEvictions.value();
+        r.timeoutEvictions +=
+            mu.evictionStats().timeoutEvictions.value();
+        r.throttleHints += mu.throttleHints();
+        r.peakMergeBytes =
+            std::max(r.peakMergeBytes, mu.peakTableBytes());
+        r.staggerSamples += mu.staggerHist().count();
+    }
+    r.staggerUs = sys.mergeStaggerMean() /
+                  static_cast<double>(cyclesPerUs);
+
+    if (!cfg.tracePath.empty()) {
+        TraceCollector tc;
+        tc.nameProcess(0, "GPUs (" + spec.name + ")");
+        tc.nameProcess(1, "fabric");
+        for (GpuId g = 0; g < sys.numGpus(); ++g)
+            tc.nameLane(0, g, strfmt("GPU %d", g));
+        tc.nameLane(1, 0, "mean link utilization");
+        for (std::size_t k = 0; k < sys.numKernels(); ++k) {
+            const KernelDesc &d = sys.kernel(static_cast<KernelId>(k));
+            for (GpuId g = 0; g < sys.numGpus(); ++g) {
+                auto [s0, s1] =
+                    sys.kernelGpuSpan(static_cast<KernelId>(k), g);
+                if (s1 > 0)
+                    tc.addSpan(d.name,
+                               d.commKernel ? "comm" : "compute", 0,
+                               g, s0, s1);
+            }
+        }
+        for (std::size_t i = 0; i < r.utilSeries.size(); ++i)
+            tc.addCounter("link util %", 1,
+                          static_cast<Cycle>(i) * cfg.utilBinWidth,
+                          100.0 * r.utilSeries[i]);
+        if (!tc.writeFile(cfg.tracePath))
+            warn("could not write trace to %s",
+                 cfg.tracePath.c_str());
+    }
+
+    for (std::size_t k = 0; k < sys.numKernels(); ++k) {
+        KernelTiming t;
+        const KernelDesc &d = sys.kernel(static_cast<KernelId>(k));
+        t.name = d.name;
+        t.comm = d.commKernel;
+        t.start = sys.kernelStartTime(static_cast<KernelId>(k));
+        t.finish = sys.kernelFinishTime(static_cast<KernelId>(k));
+        if (t.finish > t.start) {
+            if (t.comm)
+                r.commKernelCycles += t.finish - t.start;
+            else
+                r.computeKernelCycles += t.finish - t.start;
+        }
+        r.kernels.push_back(std::move(t));
+    }
+    return r;
+}
+
+double
+speedupOver(const RunResult &base, const RunResult &x)
+{
+    if (x.makespan == 0)
+        return 0.0;
+    return static_cast<double>(base.makespan) /
+           static_cast<double>(x.makespan);
+}
+
+double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += std::log(x);
+    return std::exp(s / static_cast<double>(v.size()));
+}
+
+} // namespace cais

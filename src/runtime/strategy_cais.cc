@@ -1,0 +1,96 @@
+/**
+ * @file
+ * CAIS and its ablation variants (Sec. V):
+ *
+ *  - CAIS       : full system — compute-aware ISA + merge unit,
+ *                 merging-aware TB coordination, graph-level dataflow
+ *                 optimizer with asymmetric overlap and traffic
+ *                 control.
+ *  - CAIS-Base  : ISA/merge unit only; no coordination, no graph
+ *                 optimizer (kernel-level barriers between ops).
+ *  - CAIS-Partial: adds the graph optimizer but disables traffic
+ *                 control (data classes share one VC).
+ *  - CAIS-w/o-Coord: graph optimizer without TB coordination (the
+ *                 Fig. 13/14 ablation).
+ *
+ * Also hosts the strategy registry used by benches and examples.
+ */
+
+#include "runtime/execution_strategy.hh"
+
+#include "common/log.hh"
+
+namespace cais
+{
+
+StrategySpec
+makeCais()
+{
+    StrategySpec s;
+    s.name = "CAIS";
+    s.opts.collectives = CollectiveImpl::cais;
+    s.opts.caisCoordination = true;
+    s.opts.graphOptimizer = true;
+    return s;
+}
+
+StrategySpec
+makeCaisBase()
+{
+    StrategySpec s;
+    s.name = "CAIS-Base";
+    s.opts.collectives = CollectiveImpl::cais;
+    s.opts.caisCoordination = false;
+    s.opts.graphOptimizer = false;
+    return s;
+}
+
+StrategySpec
+makeCaisPartial()
+{
+    StrategySpec s;
+    s.name = "CAIS-Partial";
+    s.opts.collectives = CollectiveImpl::cais;
+    s.opts.caisCoordination = true;
+    s.opts.graphOptimizer = true;
+    s.unifiedDataVc = true;
+    return s;
+}
+
+StrategySpec
+makeCaisNoCoord()
+{
+    StrategySpec s;
+    s.name = "CAIS-w/o-Coord";
+    s.opts.collectives = CollectiveImpl::cais;
+    s.opts.caisCoordination = false;
+    s.opts.graphOptimizer = true;
+    return s;
+}
+
+std::vector<StrategySpec>
+allStrategies()
+{
+    return {
+        makeTpNvls(),        makeSpNvls(),       makeCoconet(false),
+        makeFuselib(false),  makeT3(false),      makeCoconet(true),
+        makeFuselib(true),   makeT3(true),       makeLadm(),
+        makeCaisBase(),      makeCais(),
+    };
+}
+
+StrategySpec
+strategyByName(const std::string &name)
+{
+    std::vector<StrategySpec> extra = {makeCaisPartial(),
+                                       makeCaisNoCoord()};
+    for (const auto &s : allStrategies())
+        if (s.name == name)
+            return s;
+    for (const auto &s : extra)
+        if (s.name == name)
+            return s;
+    fatal("unknown strategy '%s'", name.c_str());
+}
+
+} // namespace cais

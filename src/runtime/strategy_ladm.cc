@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Baseline 9: LADM [22], the SOTA locality-aware TB scheduling
+ * method. LADM places thread blocks to minimize remote-access volume
+ * within a multi-chip GPU, but is communication-centric: it cannot
+ * use NVLS, so every consumer GPU pulls every peer's partials with
+ * plain remote reads (deduplicated within a GPU by the locality-aware
+ * placement, but still (G-1) x tensor volume per GPU), with global
+ * barriers between operators.
+ */
+
+#include "runtime/execution_strategy.hh"
+
+namespace cais
+{
+
+StrategySpec
+makeLadm()
+{
+    StrategySpec s;
+    s.name = "LADM";
+    s.opts.collectives = CollectiveImpl::ladm;
+    s.opts.reassociateToAllReduce = true;
+    return s;
+}
+
+} // namespace cais

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Baselines 1-2 (Sec. IV-C): Basic Tensor Parallelism with NVLS
+ * (TP-NVLS, Megatron-style AllReduce) and TP with Sequence
+ * Parallelism (SP-NVLS, ReduceScatter + AllGather). Both offload
+ * collectives to the NVLS switch engines but keep the global barrier
+ * between computation and communication phases — the
+ * communication-centric design CAIS removes.
+ */
+
+#include "runtime/execution_strategy.hh"
+
+namespace cais
+{
+
+StrategySpec
+makeTpNvls()
+{
+    StrategySpec s;
+    s.name = "TP-NVLS";
+    s.opts.collectives = CollectiveImpl::nvls;
+    s.opts.reassociateToAllReduce = true;
+    return s;
+}
+
+StrategySpec
+makeSpNvls()
+{
+    StrategySpec s;
+    s.name = "SP-NVLS";
+    s.opts.collectives = CollectiveImpl::nvls;
+    s.opts.reassociateToAllReduce = false;
+    return s;
+}
+
+} // namespace cais

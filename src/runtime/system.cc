@@ -1,0 +1,579 @@
+#include "runtime/system.hh"
+
+#include <memory>
+
+#include "common/log.hh"
+
+namespace cais
+{
+
+namespace
+{
+/** Pseudo home-GPU id of the shared (multimem-style) window. */
+constexpr GpuId sharedWindowGpu = 62;
+} // namespace
+
+GpuId
+TensorInfo::tileOwner(int t) const
+{
+    if (layout != TensorLayout::rowShardedHome)
+        panic("tensor %s: tileOwner on non-sharded layout",
+              name.c_str());
+    // shardStart is monotone; shards are balanced so this scan is
+    // O(G) with tiny G.
+    for (GpuId g = 0; g + 1 < static_cast<GpuId>(shardStart.size());
+         ++g) {
+        if (t >= shardStart[static_cast<std::size_t>(g)] &&
+            t < shardStart[static_cast<std::size_t>(g) + 1])
+            return g;
+    }
+    panic("tensor %s: tile %d out of range", name.c_str(), t);
+}
+
+Addr
+TensorInfo::tileAddr(int t) const
+{
+    switch (layout) {
+      case TensorLayout::rowShardedHome: {
+        GpuId owner = tileOwner(t);
+        int local = t - shardStart[static_cast<std::size_t>(owner)];
+        return perGpuBase[static_cast<std::size_t>(owner)] +
+               static_cast<std::uint64_t>(local) * bytesPerTile;
+      }
+      case TensorLayout::replicated:
+        return sharedBase +
+               static_cast<std::uint64_t>(t) * bytesPerTile;
+      default:
+        panic("tensor %s: tileAddr on private layout (use tileAddrAt)",
+              name.c_str());
+    }
+}
+
+Addr
+TensorInfo::tileAddrAt(GpuId g, int t) const
+{
+    if (layout == TensorLayout::replicated)
+        return tileAddr(t);
+    return perGpuBase[static_cast<std::size_t>(g)] +
+           static_cast<std::uint64_t>(t) * bytesPerTile;
+}
+
+/** Runtime state of one registered kernel. */
+struct System::KernelState
+{
+    KernelDesc desc;
+    int remainingDeps = 0;
+    bool launched = false;
+    int remainingTbs = 0;
+    bool tbsDone = false;
+    bool trackerDone = false;
+    bool finished = false;
+    Cycle startAt = 0;
+    Cycle finishAt = 0;
+    Cycle lastDispatchAt = 0;
+    Cycle lastReadyAt = 0;
+    std::vector<Cycle> gpuFirstDispatch;
+    std::vector<Cycle> gpuLastFinish;
+    std::vector<KernelId> dependents;
+    std::unordered_map<std::uint64_t, std::unique_ptr<TbRun>> live;
+};
+
+System::System(const SystemConfig &cfg_)
+    : cfg(cfg_), skewRng(0xabcdef12345ull)
+{
+    cfg.fabric.validate();
+    cfg.gpu.validate();
+
+    fab = std::make_unique<Fabric>(queue, cfg.fabric);
+    for (SwitchId s = 0; s < cfg.fabric.numSwitches; ++s) {
+        complexes.push_back(std::make_unique<SwitchComputeComplex>(
+            fab->switchChip(s), cfg.inswitch));
+    }
+    for (GpuId g = 0; g < cfg.fabric.numGpus; ++g) {
+        gpus.push_back(
+            std::make_unique<GpuCore>(queue, *fab, g, cfg.gpu));
+        gpus.back()->hub().setArrivalHandler(this);
+    }
+    localBump.assign(static_cast<std::size_t>(cfg.fabric.numGpus),
+                     4096);
+}
+
+System::~System() = default;
+
+TensorInfo &
+System::defineTensor(std::string name, TensorLayout layout,
+                     std::int64_t rows, std::int64_t cols,
+                     int elem_bytes, int tile_rows, int need_factor)
+{
+    if (rows <= 0 || cols <= 0 || tile_rows <= 0 || need_factor <= 0)
+        panic("tensor %s: bad parameters", name.c_str());
+
+    auto t = std::make_unique<TensorInfo>();
+    t->name = std::move(name);
+    t->layout = layout;
+    t->numTiles = static_cast<int>((rows + tile_rows - 1) / tile_rows);
+    t->bytesPerTile = static_cast<std::uint64_t>(tile_rows) *
+                      static_cast<std::uint64_t>(cols) *
+                      static_cast<std::uint64_t>(elem_bytes);
+    t->totalBytes =
+        static_cast<std::uint64_t>(t->numTiles) * t->bytesPerTile;
+
+    int G = numGpus();
+    auto tr = std::make_unique<TileTracker>(
+        t->name, G, t->numTiles,
+        t->bytesPerTile * static_cast<std::uint64_t>(need_factor));
+    t->tracker = static_cast<int>(trackers.size());
+
+    switch (layout) {
+      case TensorLayout::rowShardedHome: {
+        // Balanced sharding: shard sizes differ by at most one tile.
+        int base = t->numTiles / G;
+        int rem = t->numTiles % G;
+        t->shardStart.assign(static_cast<std::size_t>(G) + 1, 0);
+        for (GpuId g = 0; g < G; ++g) {
+            int count = base + (g < rem ? 1 : 0);
+            t->shardStart[static_cast<std::size_t>(g) + 1] =
+                t->shardStart[static_cast<std::size_t>(g)] + count;
+        }
+        for (GpuId g = 0; g < G; ++g) {
+            int count = t->shardStart[static_cast<std::size_t>(g) + 1] -
+                        t->shardStart[static_cast<std::size_t>(g)];
+            std::uint64_t bytes = count
+                ? static_cast<std::uint64_t>(count) * t->bytesPerTile
+                : t->bytesPerTile; // placeholder for empty shards
+            t->perGpuBase.push_back(allocLocal(g, bytes));
+            if (count) {
+                addrMap.addRange(
+                    t->perGpuBase.back(),
+                    static_cast<std::uint64_t>(count) * t->bytesPerTile,
+                    tr.get(),
+                    t->shardStart[static_cast<std::size_t>(g)],
+                    t->bytesPerTile);
+            }
+        }
+        TileTracker *raw = tr.get();
+        TensorInfo *traw = t.get();
+        raw->setRelevance([traw](GpuId g, int tile) {
+            return traw->tileOwner(tile) == g;
+        });
+        break;
+      }
+      case TensorLayout::replicated:
+        t->sharedBase = allocShared(t->totalBytes);
+        addrMap.addRange(t->sharedBase, t->totalBytes, tr.get(), 0,
+                         t->bytesPerTile);
+        break;
+      case TensorLayout::perGpuPrivate:
+        for (GpuId g = 0; g < G; ++g) {
+            t->perGpuBase.push_back(allocLocal(g, t->totalBytes));
+            addrMap.addRange(t->perGpuBase.back(), t->totalBytes,
+                             tr.get(), 0, t->bytesPerTile);
+        }
+        break;
+    }
+
+    trackers.push_back(std::move(tr));
+    tensors.push_back(std::move(t));
+    return *tensors.back();
+}
+
+Addr
+System::allocLocal(GpuId g, std::uint64_t bytes)
+{
+    Addr &bump = localBump[static_cast<std::size_t>(g)];
+    Addr base = makeAddr(g, bump);
+    // Keep ranges chunk-aligned and separated.
+    bump += (bytes + 8191) & ~std::uint64_t(4095);
+    return base;
+}
+
+Addr
+System::allocShared(std::uint64_t bytes)
+{
+    Addr base = makeAddr(sharedWindowGpu, sharedBump + 4096);
+    sharedBump += (bytes + 8191) & ~std::uint64_t(4095);
+    return base;
+}
+
+GroupId
+System::allocGroups(int n)
+{
+    GroupId first = nextGroup;
+    nextGroup += n;
+    return first;
+}
+
+KernelId
+System::addKernel(KernelDesc desc)
+{
+    desc.id = static_cast<KernelId>(kernels.size());
+    desc.validate(numGpus());
+    auto ks = std::make_unique<KernelState>();
+    ks->desc = std::move(desc);
+    ks->remainingTbs = static_cast<int>(ks->desc.totalTbs());
+    ks->gpuFirstDispatch.assign(
+        static_cast<std::size_t>(numGpus()), 0);
+    ks->gpuLastFinish.assign(static_cast<std::size_t>(numGpus()), 0);
+    kernels.push_back(std::move(ks));
+    return kernels.back()->desc.id;
+}
+
+KernelDesc &
+System::kernel(KernelId k)
+{
+    return kernels.at(static_cast<std::size_t>(k))->desc;
+}
+
+void
+System::run()
+{
+    unfinishedKernels = static_cast<int>(kernels.size());
+    if (unfinishedKernels == 0)
+        return;
+
+    // Resolve dependency edges.
+    for (auto &ks : kernels) {
+        ks->remainingDeps = static_cast<int>(ks->desc.kernelDeps.size());
+        for (KernelId d : ks->desc.kernelDeps)
+            kernels.at(static_cast<std::size_t>(d))
+                ->dependents.push_back(ks->desc.id);
+    }
+
+    for (auto &ks : kernels)
+        if (ks->remainingDeps == 0)
+            tryLaunch(*ks);
+
+    queue.runAll(cfg.maxEvents);
+
+    if (unfinishedKernels != 0)
+        reportDeadlock();
+}
+
+void
+System::tryLaunch(KernelState &ks)
+{
+    if (ks.launched || ks.remainingDeps > 0)
+        return;
+    ks.launched = true;
+    ks.startAt = queue.now();
+
+    // Register tracker completion before any TB can contribute.
+    if (ks.desc.producesTracker != invalidId) {
+        tracker(ks.desc.producesTracker).waitComplete([this, &ks] {
+            ks.trackerDone = true;
+            maybeFinishKernel(ks);
+        });
+    } else {
+        ks.trackerDone = true;
+    }
+
+    if (ks.desc.totalTbs() == 0) {
+        ks.tbsDone = true;
+        maybeFinishKernel(ks);
+        return;
+    }
+
+    for (GpuId g = 0; g < numGpus(); ++g) {
+        Cycle delay = ks.desc.launchOverhead;
+        // GPUs enter the measured region staggered (prior-kernel
+        // tails, cluster interference [18]): source kernels start
+        // with a per-GPU skew. Downstream kernels inherit their
+        // timing from data/barrier dependencies. Pre-launch sync does
+        // not skip the skew — early GPUs wait at the Group Sync Table
+        // for the laggard — it only re-aligns execution afterward.
+        if (ks.desc.kernelDeps.empty() && cfg.gpu.maxStartSkew > 0) {
+            delay += static_cast<Cycle>(skewRng.uniform(
+                0.0, static_cast<double>(cfg.gpu.maxStartSkew)));
+        }
+        queue.scheduleAfter(delay, [this, &ks, g] {
+            launchOnGpu(ks, g);
+        });
+    }
+}
+
+void
+System::launchOnGpu(KernelState &ks, GpuId g)
+{
+    const auto &grid = ks.desc.grids[static_cast<std::size_t>(g)];
+    if (grid.empty()) {
+        // This GPU has no work; account its share as done.
+        return;
+    }
+    for (int i = 0; i < static_cast<int>(grid.size()); ++i)
+        enqueueTb(ks, g, i);
+}
+
+void
+System::enqueueTb(KernelState &ks, GpuId g, int tb_idx)
+{
+    const TbDesc &tb =
+        ks.desc.grids[static_cast<std::size_t>(g)]
+                     [static_cast<std::size_t>(tb_idx)];
+
+    auto dispatch = [this, &ks, g, tb_idx] {
+        gpu(g).scheduler().enqueue(
+            ks.desc.smFrom, ks.desc.smTo, ks.desc.schedPriority,
+            [this, &ks, g, tb_idx](int slot) {
+            dispatchTb(ks, g, tb_idx, slot);
+        });
+    };
+
+    // (Readiness time is tracked for pipeline diagnostics.)
+    // Pre-launch synchronization (Sec. III-B.2): the TB registers its
+    // group and stays pending — without occupying a CTA slot — until
+    // the switch has seen all participating GPUs register.
+    std::function<void()> ready = [this, &ks, dispatch] {
+        ks.lastReadyAt = queue.now();
+        dispatch();
+    };
+    if (ks.desc.preLaunchSync && tb.group != invalidId) {
+        ready = [this, &ks, g, group = tb.group, dispatch] {
+            gpu(g).synchronizer().requestSync(
+                group, SyncPhase::preLaunch, numGpus(),
+                [this, &ks, dispatch] {
+                ks.lastReadyAt = queue.now();
+                dispatch();
+            });
+        };
+    }
+
+    if (tb.deps.empty()) {
+        ready();
+        return;
+    }
+
+    auto remaining = std::make_shared<int>(
+        static_cast<int>(tb.deps.size()));
+    for (const TileRef &ref : tb.deps) {
+        tracker(ref.tracker)
+            .waitFor(ref.atGpu, ref.tile, [remaining, ready] {
+            if (--*remaining == 0)
+                ready();
+        });
+    }
+}
+
+void
+System::dispatchTb(KernelState &ks, GpuId g, int tb_idx, int slot)
+{
+    const TbDesc &tb =
+        ks.desc.grids[static_cast<std::size_t>(g)]
+                     [static_cast<std::size_t>(tb_idx)];
+
+    auto run = std::make_unique<TbRun>(
+        gpu(g).tbContext(numGpus()), g, ks.desc, tb, tb_idx,
+        [this, &ks](TbRun &r) { onTbProduced(ks, r); },
+        [this, &ks, g, tb_idx, slot](TbRun &r) {
+            onTbFinished(ks, g, tb_idx, slot, &r);
+        });
+
+    std::uint64_t key = (static_cast<std::uint64_t>(g) << 32) |
+                        static_cast<std::uint32_t>(tb_idx);
+    ks.lastDispatchAt = queue.now();
+    if (ks.gpuFirstDispatch[static_cast<std::size_t>(g)] == 0)
+        ks.gpuFirstDispatch[static_cast<std::size_t>(g)] =
+            queue.now() ? queue.now() : 1;
+    TbRun *raw = run.get();
+    ks.live[key] = std::move(run);
+    raw->start();
+}
+
+void
+System::onTbProduced(KernelState &ks, TbRun &tb)
+{
+    const TbDesc &d = tb.desc();
+    if (ks.desc.producesTracker == invalidId || d.producesTile < 0 ||
+        d.produceBytes == 0)
+        return;
+    tracker(ks.desc.producesTracker)
+        .contribute(tb.gpu(), d.producesTile, d.produceBytes);
+}
+
+void
+System::onTbFinished(KernelState &ks, GpuId g, int tb_idx, int slot,
+                     TbRun *run)
+{
+    (void)run;
+    ks.gpuLastFinish[static_cast<std::size_t>(g)] = queue.now();
+    gpu(g).sms().release(slot);
+    gpu(g).scheduler().pump();
+
+    std::uint64_t key = (static_cast<std::uint64_t>(g) << 32) |
+                        static_cast<std::uint32_t>(tb_idx);
+    // Defer destruction: we are inside the TbRun's own call frame.
+    queue.scheduleAfter(0, [&ks, key] { ks.live.erase(key); });
+
+    if (--ks.remainingTbs == 0)
+        onKernelTbsDone(ks);
+}
+
+void
+System::onKernelTbsDone(KernelState &ks)
+{
+    ks.tbsDone = true;
+    maybeFinishKernel(ks);
+}
+
+void
+System::maybeFinishKernel(KernelState &ks)
+{
+    if (ks.finished || !ks.tbsDone || !ks.trackerDone)
+        return;
+    ks.finished = true;
+    ks.finishAt = queue.now();
+    if (--unfinishedKernels == 0)
+        finishedAt = queue.now();
+
+    for (KernelId d : ks.dependents) {
+        KernelState &dep = *kernels.at(static_cast<std::size_t>(d));
+        if (--dep.remainingDeps == 0)
+            tryLaunch(dep);
+    }
+}
+
+void
+System::reportDeadlock() const
+{
+    std::fprintf(stderr, "=== system stalled at %llu cycles ===\n",
+                 static_cast<unsigned long long>(queue.now()));
+    for (const auto &ks : kernels) {
+        if (ks->finished)
+            continue;
+        std::fprintf(stderr,
+                     "  kernel %d (%s): launched=%d remainingTbs=%d "
+                     "deps=%d tbsDone=%d trackerDone=%d\n",
+                     ks->desc.id, ks->desc.name.c_str(),
+                     ks->launched ? 1 : 0, ks->remainingTbs,
+                     ks->remainingDeps, ks->tbsDone ? 1 : 0,
+                     ks->trackerDone ? 1 : 0);
+        if (ks->desc.producesTracker != invalidId) {
+            const TileTracker &t =
+                *trackers[static_cast<std::size_t>(
+                    ks->desc.producesTracker)];
+            std::fprintf(stderr, "    tracker %s progress %.3f\n",
+                         t.name().c_str(), t.progress());
+            for (GpuId g = 0; g < t.numGpus(); ++g)
+                for (int tile = 0; tile < t.numTiles(); ++tile)
+                    if (!t.ready(g, tile))
+                        std::fprintf(stderr,
+                                     "      not ready: gpu %d tile "
+                                     "%d\n",
+                                     g, tile);
+        }
+        for (const auto &[key, run] : ks->live) {
+            std::fprintf(stderr, "    live TB: gpu %d idx %d [%s]\n",
+                         static_cast<int>(key >> 32),
+                         static_cast<int>(key & 0xffffffffu),
+                         run ? run->stateStr().c_str() : "null");
+        }
+    }
+    for (SwitchId s = 0; s < numSwitches(); ++s) {
+        const auto &c = *complexes[static_cast<std::size_t>(s)];
+        std::fprintf(stderr,
+                     "  switch %d: nvls pending=%zu merge live=%zu "
+                     "probes=%zu sync pending=%zu fwd=%llu "
+                     "consumed=%llu gen=%llu\n",
+                     s, c.nvls().pendingSessions(),
+                     c.merge().liveSessions(),
+                     c.merge().pendingProbes(),
+                     c.sync().pendingGroups(),
+                     static_cast<unsigned long long>(
+                         fab->switchChip(s).packetsForwarded()),
+                     static_cast<unsigned long long>(
+                         fab->switchChip(s).packetsConsumed()),
+                     static_cast<unsigned long long>(
+                         fab->switchChip(s).packetsGenerated()));
+    }
+    for (GpuId g = 0; g < numGpus(); ++g) {
+        const GpuCore &gc = *gpus[static_cast<std::size_t>(g)];
+        std::fprintf(stderr,
+                     "  gpu %d: sched pending=%zu hub jobs=%zu "
+                     "inflight=%d sync pending=%zu\n",
+                     g,
+                     const_cast<GpuCore &>(gc).scheduler()
+                         .pendingCount(),
+                     const_cast<GpuCore &>(gc).hub().queuedJobs(),
+                     const_cast<GpuCore &>(gc).hub().inflight(),
+                     const_cast<GpuCore &>(gc).synchronizer()
+                         .pendingCount());
+    }
+    panic("simulation deadlocked or event budget exhausted");
+}
+
+Cycle
+System::kernelStartTime(KernelId k) const
+{
+    return kernels.at(static_cast<std::size_t>(k))->startAt;
+}
+
+Cycle
+System::kernelFinishTime(KernelId k) const
+{
+    return kernels.at(static_cast<std::size_t>(k))->finishAt;
+}
+
+Cycle
+System::kernelLastDispatch(KernelId k) const
+{
+    return kernels.at(static_cast<std::size_t>(k))->lastDispatchAt;
+}
+
+Cycle
+System::kernelLastReady(KernelId k) const
+{
+    return kernels.at(static_cast<std::size_t>(k))->lastReadyAt;
+}
+
+std::pair<Cycle, Cycle>
+System::kernelGpuSpan(KernelId k, GpuId g) const
+{
+    const KernelState &ks = *kernels.at(static_cast<std::size_t>(k));
+    Cycle first = ks.gpuFirstDispatch[static_cast<std::size_t>(g)];
+    Cycle last = ks.gpuLastFinish[static_cast<std::size_t>(g)];
+    if (first == 0 || last < first)
+        return {0, 0};
+    return {first, last};
+}
+
+double
+System::mergeStaggerMean() const
+{
+    double weighted = 0.0;
+    std::uint64_t n = 0;
+    for (const auto &c : complexes) {
+        const Histogram &h = c->merge().staggerHist();
+        weighted += h.mean() * static_cast<double>(h.count());
+        n += h.count();
+    }
+    return n ? weighted / static_cast<double>(n) : 0.0;
+}
+
+std::uint64_t
+System::peakMergeTableBytes() const
+{
+    std::uint64_t peak = 0;
+    for (const auto &c : complexes)
+        peak = std::max(peak, c->merge().peakTableBytes());
+    return peak;
+}
+
+double
+System::gpuUtilization() const
+{
+    Cycle t = queue.now();
+    if (t == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &g : gpus)
+        sum += const_cast<GpuCore &>(*g).sms().utilization(t);
+    return sum / static_cast<double>(gpus.size());
+}
+
+void
+System::onDataArrival(GpuId gpu_, Addr addr, std::uint32_t bytes,
+                      int contribs)
+{
+    addrMap.dispatch(gpu_, addr, bytes, contribs);
+}
+
+} // namespace cais

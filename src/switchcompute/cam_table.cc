@@ -1,0 +1,33 @@
+#include "switchcompute/cam_table.hh"
+
+#include "common/log.hh"
+
+namespace cais
+{
+
+int
+CamLookupTable::lookup(Addr addr, bool is_load) const
+{
+    auto it = map.find(key(addr, is_load));
+    return it == map.end() ? noSlot : it->second;
+}
+
+void
+CamLookupTable::insert(Addr addr, bool is_load, int slot)
+{
+    auto [it, ok] = map.emplace(key(addr, is_load), slot);
+    (void)it;
+    if (!ok)
+        panic("CAM: duplicate session for addr %llx",
+              static_cast<unsigned long long>(addr));
+}
+
+void
+CamLookupTable::erase(Addr addr, bool is_load)
+{
+    if (map.erase(key(addr, is_load)) != 1)
+        panic("CAM: erasing absent session for addr %llx",
+              static_cast<unsigned long long>(addr));
+}
+
+} // namespace cais

@@ -1,0 +1,32 @@
+#include "switchcompute/eviction.hh"
+
+namespace cais
+{
+
+MergeEntry *
+EvictionPolicy::pickLruVictim(MergingTable &tbl) const
+{
+    MergeEntry *victim = nullptr;
+    for (auto &e : tbl.slots()) {
+        if (!e.valid() || !evictable(e))
+            continue;
+        if (!victim || e.lastAccess < victim->lastAccess)
+            victim = &e;
+    }
+    return victim;
+}
+
+std::vector<MergeEntry *>
+EvictionPolicy::expired(MergingTable &tbl, Cycle now) const
+{
+    std::vector<MergeEntry *> out;
+    for (auto &e : tbl.slots()) {
+        if (!e.valid() || !evictable(e))
+            continue;
+        if (now >= e.lastAccess && now - e.lastAccess >= timeoutCycles)
+            out.push_back(&e);
+    }
+    return out;
+}
+
+} // namespace cais

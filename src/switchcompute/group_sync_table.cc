@@ -1,0 +1,58 @@
+#include "switchcompute/group_sync_table.hh"
+
+#include "common/log.hh"
+
+namespace cais
+{
+
+GroupSyncTable::GroupSyncTable(SwitchChip &sw_) : sw(sw_)
+{
+}
+
+void
+GroupSyncTable::handleSyncReq(Packet &&pkt)
+{
+    reqs.inc();
+    if (pkt.group == invalidId)
+        panic("sync request without group id");
+    if (pkt.expected <= 0 || pkt.expected > sw.numGpus())
+        panic("sync request with bad participant count %d", pkt.expected);
+
+    Cycle now = sw.eventQueue().now();
+    auto &e = pending[key(pkt.group, pkt.cookie)];
+    if (e.count == 0)
+        e.first = now;
+
+    std::uint64_t bit = 1ull << pkt.issuerGpu;
+    if (e.mask & bit) {
+        // Duplicate registration from one GPU (e.g. retried packet);
+        // count each GPU once.
+        return;
+    }
+    e.mask |= bit;
+    ++e.count;
+
+    if (e.count < pkt.expected)
+        return;
+
+    // All participants registered: broadcast the release.
+    window.sample(static_cast<double>(now - e.first));
+    std::uint64_t mask = e.mask;
+    std::uint64_t phase = pkt.cookie;
+    GroupId group = pkt.group;
+    pending.erase(key(group, phase));
+
+    for (GpuId g = 0; g < sw.numGpus(); ++g) {
+        if (!(mask & (1ull << g)))
+            continue;
+        Packet rel = makePacket(PacketType::groupSyncRelease,
+                                sw.nodeId(), g);
+        rel.group = group;
+        rel.cookie = phase;
+        rel.issuerGpu = g;
+        sw.sendToGpu(std::move(rel));
+    }
+    rels.inc();
+}
+
+} // namespace cais

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Switch-side Group Sync Table (Fig. 8b): counts pre-launch and
+ * pre-access synchronization requests per TB group and broadcasts a
+ * release to all participating GPUs once every GPU has registered.
+ */
+
+#ifndef CAIS_SWITCHCOMPUTE_GROUP_SYNC_TABLE_HH
+#define CAIS_SWITCHCOMPUTE_GROUP_SYNC_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/stats.hh"
+#include "noc/switch_chip.hh"
+
+namespace cais
+{
+
+/** Synchronization phase carried in sync-packet cookies. */
+enum class SyncPhase : std::uint8_t { preLaunch = 0, preAccess = 1 };
+
+/** Per-group rendezvous counters with release broadcast. */
+class GroupSyncTable
+{
+  public:
+    explicit GroupSyncTable(SwitchChip &sw);
+
+    /** Consume one groupSyncReq packet. */
+    void handleSyncReq(Packet &&pkt);
+
+    std::uint64_t requests() const { return reqs.value(); }
+    std::uint64_t releases() const { return rels.value(); }
+    std::size_t pendingGroups() const { return pending.size(); }
+
+    /** Registration window (first to last request) in cycles. */
+    const Histogram &windowHist() const { return window; }
+
+  private:
+    struct Entry
+    {
+        int count = 0;
+        std::uint64_t mask = 0;
+        Cycle first = 0;
+    };
+
+    static std::uint64_t
+    key(GroupId g, std::uint64_t phase)
+    {
+        return (static_cast<std::uint64_t>(g) << 1) | (phase & 1);
+    }
+
+    SwitchChip &sw;
+    std::unordered_map<std::uint64_t, Entry> pending;
+    Counter reqs;
+    Counter rels;
+    Histogram window{0.0, 100.0 * cyclesPerUs, 100};
+};
+
+} // namespace cais
+
+#endif // CAIS_SWITCHCOMPUTE_GROUP_SYNC_TABLE_HH

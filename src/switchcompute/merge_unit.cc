@@ -1,0 +1,361 @@
+#include "switchcompute/merge_unit.hh"
+
+#include "common/log.hh"
+
+namespace cais
+{
+
+MergeUnit::MergeUnit(SwitchChip &sw_, const MergeParams &params)
+    : sw(sw_), p(params), policy(params.timeout),
+      throttle(sw_.numGpus(), params.throttleThreshold,
+               params.throttlePause, params.throttleHintInterval)
+{
+    tables.reserve(static_cast<std::size_t>(sw.numGpus()));
+    for (int g = 0; g < sw.numGpus(); ++g)
+        tables.emplace_back(p.tableBytesPerPort, p.chunkBytes);
+
+    if (p.throttleEnabled) {
+        throttle.setHintCallback(
+            [this](GpuId g, GroupId group, Cycle pause) {
+            Packet hint = makePacket(PacketType::throttleHint,
+                                     sw.nodeId(), g);
+            hint.group = group;
+            hint.cookie = pause;
+            hint.issuerGpu = g;
+            sw.sendToGpu(std::move(hint));
+        });
+    }
+}
+
+void
+MergeUnit::probeArrival(Addr addr, bool is_load, int expected)
+{
+    std::uint64_t key = (addr << 1) | (is_load ? 1u : 0u);
+    Cycle now = sw.eventQueue().now();
+    auto &e = probe[key];
+    if (e.count == 0) {
+        e.first = now;
+        e.expected = expected;
+    }
+    ++e.count;
+    if (e.count >= e.expected) {
+        double d = static_cast<double>(now - e.first);
+        stagger.sample(d);
+        if (is_load)
+            loadStagger.sample(d);
+        else
+            redStagger.sample(d);
+        probe.erase(key);
+    }
+}
+
+void
+MergeUnit::noteOpen(bool is_load)
+{
+    if (is_load) {
+        if (++liveLoads > peakLoads)
+            peakLoads = liveLoads;
+    } else {
+        if (++liveReds > peakReds)
+            peakReds = liveReds;
+    }
+}
+
+void
+MergeUnit::noteClose(bool is_load)
+{
+    if (is_load) {
+        if (liveLoads > 0)
+            --liveLoads;
+    } else {
+        if (liveReds > 0)
+            --liveReds;
+    }
+}
+
+void
+MergeUnit::respondLoad(const Packet &req, std::uint32_t bytes)
+{
+    Packet resp = makePacket(PacketType::caisLoadResp, sw.nodeId(),
+                             req.issuerGpu);
+    resp.addr = req.addr;
+    resp.payloadBytes = bytes;
+    resp.cookie = req.cookie;
+    resp.issuerGpu = req.issuerGpu;
+    resp.kernel = req.kernel;
+    resp.tb = req.tb;
+    resp.group = req.group;
+    sw.sendToGpu(std::move(resp));
+}
+
+void
+MergeUnit::issueFetch(GpuId home, Addr addr, std::uint32_t bytes,
+                      bool bypass, const Packet *original, KernelId kernel)
+{
+    std::uint64_t id = nextFetchId++;
+    FetchCtx &ctx = fetches[id];
+    ctx.port = home;
+    ctx.addr = addr;
+    ctx.bypass = bypass;
+    if (bypass && original)
+        ctx.original = *original;
+
+    Packet rd = makePacket(PacketType::readReq, sw.nodeId(), home);
+    rd.addr = addr;
+    rd.reqBytes = bytes;
+    rd.cookie = cookieTagMerge | id;
+    rd.kernel = kernel;
+    sw.sendToGpu(std::move(rd));
+    st.fetches.inc();
+    if (bypass)
+        st.bypassFetches.inc();
+}
+
+void
+MergeUnit::handleLoadReq(Packet &&pkt)
+{
+    st.loadReqs.inc();
+    GpuId home = addrHomeGpu(pkt.addr);
+    probeArrival(pkt.addr, true, pkt.expected);
+    Cycle now = sw.eventQueue().now();
+
+    MergingTable &tbl = table(home);
+    MergeEntry *e = tbl.find(pkt.addr, true);
+    if (e) {
+        st.loadHits.inc();
+        ++e->count;
+        e->contribMask |= 1ull << pkt.issuerGpu;
+        e->lastAccess = now;
+        throttle.onContribution(pkt.group, pkt.issuerGpu, now);
+        if (e->state == SessionState::loadWait) {
+            // Data still pending: defer in the Content Array.
+            e->pendingRequesters.push_back(std::move(pkt));
+        } else {
+            // Load-Ready: serve from cached data immediately.
+            respondLoad(pkt, e->bytes);
+            if (e->count >= e->expected)
+                closeSession(home, e, true);
+        }
+        return;
+    }
+
+    // Miss: open a new session, evicting if necessary.
+    if (tbl.full()) {
+        MergeEntry *victim = policy.pickLruVictim(tbl);
+        if (!victim) {
+            // Every entry is Load-Wait: bypass the merge unit
+            // entirely to avoid thrashing (Sec. III-A.4).
+            evSt.deferredEvictions.inc();
+            issueFetch(home, pkt.addr, pkt.reqBytes, true, &pkt,
+                       pkt.kernel);
+            return;
+        }
+        evictEntry(home, victim, false);
+    }
+
+    e = tbl.allocate(pkt.addr, true);
+    st.sessionsOpened.inc();
+    noteOpen(true);
+    e->expected = pkt.expected;
+    e->group = pkt.group;
+    e->count = 1;
+    e->contribMask = 1ull << pkt.issuerGpu;
+    e->allocatedAt = now;
+    e->firstRequestAt = now;
+    e->lastAccess = now;
+    e->bytes = pkt.reqBytes ? pkt.reqBytes : p.chunkBytes;
+    throttle.onContribution(pkt.group, pkt.issuerGpu, now);
+
+    std::uint32_t bytes = e->bytes;
+    Addr addr = pkt.addr;
+    KernelId kernel = pkt.kernel;
+    e->pendingRequesters.push_back(std::move(pkt));
+    issueFetch(home, addr, bytes, false, nullptr, kernel);
+    scheduleSweep();
+}
+
+void
+MergeUnit::handleReadResp(Packet &&pkt)
+{
+    std::uint64_t id = pkt.cookie & cookieIdMask;
+    auto it = fetches.find(id);
+    if (it == fetches.end())
+        panic("merge unit: response for unknown fetch %llu",
+              static_cast<unsigned long long>(id));
+    FetchCtx ctx = std::move(it->second);
+    fetches.erase(it);
+
+    if (ctx.bypass) {
+        respondLoad(ctx.original, pkt.payloadBytes);
+        return;
+    }
+
+    MergingTable &tbl = table(ctx.port);
+    MergeEntry *e = tbl.find(ctx.addr, true);
+    if (!e) {
+        // The session vanished (cannot happen under the deferred-
+        // eviction rule); drop the data defensively.
+        warn("merge unit: fetch response for closed session");
+        return;
+    }
+
+    e->state = SessionState::loadReady;
+    e->lastAccess = sw.eventQueue().now();
+    // Serve every deferred requester from the Content Array.
+    auto pend = std::move(e->pendingRequesters);
+    e->pendingRequesters.clear();
+    for (const Packet &req : pend)
+        respondLoad(req, e->bytes);
+    if (e->count >= e->expected)
+        closeSession(ctx.port, e, true);
+}
+
+void
+MergeUnit::handleRedReq(Packet &&pkt)
+{
+    st.redReqs.inc();
+    GpuId home = addrHomeGpu(pkt.addr);
+    probeArrival(pkt.addr, false, pkt.expected);
+    Cycle now = sw.eventQueue().now();
+
+    MergingTable &tbl = table(home);
+    MergeEntry *e = tbl.find(pkt.addr, false);
+    if (!e) {
+        if (tbl.full()) {
+            MergeEntry *victim = policy.pickLruVictim(tbl);
+            if (!victim) {
+                // No evictable entry: forward this contribution
+                // unmerged to preserve forward progress.
+                evSt.deferredEvictions.inc();
+                st.unmergedWrites.inc();
+                Packet w = makePacket(PacketType::caisMergedWrite,
+                                      sw.nodeId(), home);
+                w.addr = pkt.addr;
+                w.payloadBytes = pkt.payloadBytes;
+                w.kernel = pkt.kernel;
+                w.group = pkt.group;
+                w.contribs = 1;
+                sw.sendToGpu(std::move(w));
+                return;
+            }
+            evictEntry(home, victim, false);
+        }
+        e = tbl.allocate(pkt.addr, false);
+        st.sessionsOpened.inc();
+        noteOpen(false);
+        e->expected = pkt.expected;
+        e->group = pkt.group;
+        e->allocatedAt = now;
+        e->firstRequestAt = now;
+        e->bytes = pkt.payloadBytes ? pkt.payloadBytes : p.chunkBytes;
+        scheduleSweep();
+    } else {
+        st.redHits.inc();
+    }
+
+    ++e->count;
+    e->contribMask |= 1ull << pkt.issuerGpu;
+    e->lastAccess = now;
+    if (e->group == invalidId)
+        e->group = pkt.group;
+    throttle.onContribution(pkt.group, pkt.issuerGpu, now);
+
+    if (e->count >= e->expected)
+        closeSession(home, e, true);
+}
+
+void
+MergeUnit::emitMergedWrite(const MergeEntry &e)
+{
+    Packet w = makePacket(PacketType::caisMergedWrite, sw.nodeId(),
+                          e.homeGpu);
+    w.addr = e.addr;
+    w.payloadBytes = e.bytes;
+    w.group = e.group;
+    w.contribs = e.count;
+    st.mergedWrites.inc();
+
+    Cycle delay = p.reduceDelay;
+    sw.eventQueue().scheduleAfter(delay,
+        [this, pkt = std::move(w)]() mutable {
+        sw.sendToGpu(std::move(pkt));
+    });
+}
+
+void
+MergeUnit::closeSession(GpuId port, MergeEntry *e, bool complete)
+{
+    noteClose(e->isLoad());
+    if (e->state == SessionState::reduction)
+        emitMergedWrite(*e);
+    throttle.onSessionClose(e->group, e->contribMask);
+    if (complete)
+        st.sessionsClosed.inc();
+    table(port).release(e);
+}
+
+void
+MergeUnit::evictEntry(GpuId port, MergeEntry *e, bool timeout_evict)
+{
+    if (timeout_evict)
+        evSt.timeoutEvictions.inc();
+    else
+        evSt.lruEvictions.inc();
+    // Reduction sessions flush their partial sum to the home GPU (the
+    // memory controller completes the reduction); Load-Ready sessions
+    // simply drop the cached data.
+    closeSession(port, e, false);
+}
+
+void
+MergeUnit::scheduleSweep()
+{
+    if (sweepScheduled)
+        return;
+    sweepScheduled = true;
+    sw.eventQueue().scheduleAfter(p.timeout / 2 + 1,
+                                  [this] { timeoutSweep(); });
+}
+
+void
+MergeUnit::timeoutSweep()
+{
+    sweepScheduled = false;
+    Cycle now = sw.eventQueue().now();
+    bool any_live = false;
+    for (GpuId port = 0; port < sw.numGpus(); ++port) {
+        MergingTable &tbl = table(port);
+        for (MergeEntry *e : policy.expired(tbl, now))
+            evictEntry(port, e, true);
+        if (tbl.liveEntries() > 0)
+            any_live = true;
+    }
+    if (any_live)
+        scheduleSweep();
+}
+
+std::uint64_t
+MergeUnit::peakTableBytes() const
+{
+    std::uint64_t peak = 0;
+    for (const auto &t : tables)
+        peak = std::max(peak, t.peakBytes());
+    return peak;
+}
+
+std::uint64_t
+MergeUnit::peakTableBytes(GpuId port) const
+{
+    return tables[static_cast<std::size_t>(port)].peakBytes();
+}
+
+std::size_t
+MergeUnit::liveSessions() const
+{
+    std::size_t n = 0;
+    for (const auto &t : tables)
+        n += t.liveEntries();
+    return n;
+}
+
+} // namespace cais

@@ -1,0 +1,143 @@
+#include "switchcompute/nvls_unit.hh"
+
+#include "common/log.hh"
+
+namespace cais
+{
+
+NvlsUnit::NvlsUnit(SwitchChip &sw_, const NvlsParams &params)
+    : sw(sw_), p(params)
+{
+}
+
+void
+NvlsUnit::handleMultimemSt(Packet &&pkt)
+{
+    // Replicate to every GPU except the issuer (its local copy was
+    // written by the store itself).
+    for (GpuId g = 0; g < sw.numGpus(); ++g) {
+        if (g == pkt.issuerGpu)
+            continue;
+        Packet w = makePacket(PacketType::writeReq, sw.nodeId(), g);
+        w.addr = pkt.addr;
+        w.payloadBytes = pkt.payloadBytes;
+        w.padBytes = pkt.padBytes;
+        w.issuerGpu = pkt.issuerGpu;
+        w.kernel = pkt.kernel;
+        w.tb = pkt.tb;
+        w.vc = VcClass::multicast;
+        sw.sendToGpu(std::move(w));
+    }
+    stMulticasts.inc();
+
+    // Posted-store ack so the issuing hub can track drain.
+    Packet ack = makePacket(PacketType::writeAck, sw.nodeId(),
+                            pkt.issuerGpu);
+    ack.addr = pkt.addr;
+    ack.cookie = pkt.cookie;
+    ack.kernel = pkt.kernel;
+    ack.tb = pkt.tb;
+    sw.sendToGpu(std::move(ack));
+}
+
+void
+NvlsUnit::handleLdReduceReq(Packet &&pkt)
+{
+    std::uint64_t id = nextGatherId++;
+    GatherSession &s = gathers[id];
+    s.requester = pkt.issuerGpu;
+    s.addr = pkt.addr;
+    s.bytes = pkt.reqBytes;
+    s.pad = pkt.padResponse ? pkt.reqBytes / protocolPadDivisor : 0;
+    s.hubCookie = pkt.cookie;
+    s.expected = pkt.expected > 0 ? pkt.expected : sw.numGpus();
+    s.kernel = pkt.kernel;
+    s.tb = pkt.tb;
+
+    // Fetch the replica from every participating GPU (including the
+    // requester's own memory: the gather traverses the switch for all
+    // of them, which is how the hardware behaves).
+    for (GpuId g = 0; g < s.expected; ++g) {
+        Packet rd = makePacket(PacketType::readReq, sw.nodeId(), g);
+        rd.addr = pkt.addr;
+        rd.reqBytes = pkt.reqBytes;
+        rd.padResponse = pkt.padResponse;
+        rd.cookie = cookieTagNvls | id;
+        rd.kernel = pkt.kernel;
+        sw.sendToGpu(std::move(rd));
+    }
+}
+
+void
+NvlsUnit::handleReadResp(Packet &&pkt)
+{
+    std::uint64_t id = pkt.cookie & cookieIdMask;
+    auto it = gathers.find(id);
+    if (it == gathers.end())
+        panic("NVLS: read response for unknown gather %llu",
+              static_cast<unsigned long long>(id));
+    GatherSession &s = it->second;
+    ++s.arrived;
+    if (s.arrived < s.expected)
+        return;
+
+    // All replicas gathered; reduce in-flight and return the result.
+    Packet resp = makePacket(PacketType::multimemLdReduceResp,
+                             sw.nodeId(), s.requester);
+    resp.addr = s.addr;
+    resp.payloadBytes = s.bytes;
+    resp.padBytes = s.pad;
+    resp.cookie = s.hubCookie;
+    resp.issuerGpu = s.requester;
+    resp.kernel = s.kernel;
+    resp.tb = s.tb;
+    gathersDone.inc();
+    gathers.erase(it);
+
+    sw.eventQueue().scheduleAfter(p.reduceDelay,
+        [this, r = std::move(resp)]() mutable {
+        sw.sendToGpu(std::move(r));
+    });
+}
+
+void
+NvlsUnit::handleRed(Packet &&pkt)
+{
+    RedSession &s = reds[pkt.addr];
+    if (s.expected == 0) {
+        s.expected = pkt.expected > 0 ? pkt.expected : sw.numGpus();
+        s.bytes = pkt.payloadBytes;
+        s.kernel = pkt.kernel;
+    }
+    std::uint64_t bit = 1ull << pkt.issuerGpu;
+    if (s.mask & bit)
+        panic("NVLS: duplicate red contribution from GPU %d",
+              pkt.issuerGpu);
+    s.mask |= bit;
+    ++s.arrived;
+    if (s.arrived < s.expected)
+        return;
+
+    // Update every replica with the reduced value.
+    std::uint32_t bytes = s.bytes;
+    KernelId kernel = s.kernel;
+    int expected = s.expected;
+    Addr addr = pkt.addr;
+    reds.erase(pkt.addr);
+    redsDone.inc();
+
+    sw.eventQueue().scheduleAfter(p.reduceDelay,
+        [this, addr, bytes, kernel, expected] {
+        for (GpuId g = 0; g < sw.numGpus(); ++g) {
+            Packet w = makePacket(PacketType::writeReq, sw.nodeId(), g);
+            w.addr = addr;
+            w.payloadBytes = bytes;
+            w.kernel = kernel;
+            w.contribs = expected;
+            w.vc = VcClass::multicast;
+            sw.sendToGpu(std::move(w));
+        }
+    });
+}
+
+} // namespace cais

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Stock NVLS in-switch computing unit (communication-centric), per
+ * Klenk et al. [24] and NVIDIA's third-generation NVSwitch: handles
+ * the three multimem primitives.
+ *
+ *  - multimem.st        : push-mode multicast store. The switch
+ *                         replicates the payload to every other GPU.
+ *  - multimem.ld_reduce : pull-mode gather-reduce. The switch fetches
+ *                         the addressed data from every GPU's replica,
+ *                         reduces in-flight, and returns the result to
+ *                         the requester.
+ *  - multimem.red       : push-mode reduction. Contributions from all
+ *                         GPUs are accumulated in the switch and the
+ *                         result is written to every replica.
+ */
+
+#ifndef CAIS_SWITCHCOMPUTE_NVLS_UNIT_HH
+#define CAIS_SWITCHCOMPUTE_NVLS_UNIT_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/stats.hh"
+#include "noc/switch_chip.hh"
+
+namespace cais
+{
+
+/** NVLS unit tunables. */
+struct NvlsParams
+{
+    /** In-flight reduction latency charged per completed session. */
+    Cycle reduceDelay = 8;
+};
+
+/** The switch-resident NVLS engine. */
+class NvlsUnit
+{
+  public:
+    NvlsUnit(SwitchChip &sw, const NvlsParams &params = {});
+
+    void handleMultimemSt(Packet &&pkt);
+    void handleLdReduceReq(Packet &&pkt);
+    void handleRed(Packet &&pkt);
+
+    /** Read response for a gather this unit issued (cookie-tagged). */
+    void handleReadResp(Packet &&pkt);
+
+    std::uint64_t multicasts() const { return stMulticasts.value(); }
+    std::uint64_t gatherReduces() const { return gathersDone.value(); }
+    std::uint64_t pushReduces() const { return redsDone.value(); }
+    std::size_t pendingSessions() const
+    {
+        return gathers.size() + reds.size();
+    }
+
+  private:
+    struct GatherSession
+    {
+        GpuId requester = invalidId;
+        Addr addr = 0;
+        std::uint32_t bytes = 0;
+        std::uint32_t pad = 0;
+        std::uint64_t hubCookie = 0;
+        int arrived = 0;
+        int expected = 0;
+        KernelId kernel = invalidId;
+        TbId tb = invalidId;
+    };
+
+    struct RedSession
+    {
+        int arrived = 0;
+        int expected = 0;
+        std::uint32_t bytes = 0;
+        std::uint64_t mask = 0;
+        KernelId kernel = invalidId;
+    };
+
+    SwitchChip &sw;
+    NvlsParams p;
+
+    std::unordered_map<std::uint64_t, GatherSession> gathers;
+    std::unordered_map<Addr, RedSession> reds;
+    std::uint64_t nextGatherId = 1;
+
+    Counter stMulticasts;
+    Counter gathersDone;
+    Counter redsDone;
+};
+
+} // namespace cais
+
+#endif // CAIS_SWITCHCOMPUTE_NVLS_UNIT_HH

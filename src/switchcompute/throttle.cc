@@ -1,0 +1,74 @@
+#include "switchcompute/throttle.hh"
+
+#include "common/log.hh"
+
+namespace cais
+{
+
+ThrottleController::ThrottleController(int num_gpus, int threshold_,
+                                       Cycle pause_cycles,
+                                       Cycle hint_interval)
+    : numGpus(num_gpus), threshold(threshold_), pauseCycles(pause_cycles),
+      hintInterval(hint_interval),
+      lastHint(static_cast<std::size_t>(num_gpus), 0)
+{
+}
+
+void
+ThrottleController::setHintCallback(
+    std::function<void(GpuId, GroupId, Cycle)> cb)
+{
+    hintCb = std::move(cb);
+}
+
+void
+ThrottleController::onContribution(GroupId group, GpuId g, Cycle now)
+{
+    if (group == invalidId || g < 0 || g >= numGpus)
+        return;
+    auto &counts = open[group];
+    if (counts.empty())
+        counts.assign(static_cast<std::size_t>(numGpus), 0);
+    int &c = counts[static_cast<std::size_t>(g)];
+    ++c;
+    if (c > threshold && hintCb) {
+        Cycle &last = lastHint[static_cast<std::size_t>(g)];
+        if (now == 0 || now - last >= hintInterval || last == 0) {
+            last = now;
+            hints.inc();
+            hintCb(g, group, pauseCycles);
+        }
+    }
+}
+
+void
+ThrottleController::onSessionClose(GroupId group, std::uint64_t mask)
+{
+    auto it = open.find(group);
+    if (it == open.end())
+        return;
+    auto &counts = it->second;
+    bool any = false;
+    for (int g = 0; g < numGpus; ++g) {
+        if (mask & (1ull << g)) {
+            int &c = counts[static_cast<std::size_t>(g)];
+            if (c > 0)
+                --c;
+        }
+        if (counts[static_cast<std::size_t>(g)] > 0)
+            any = true;
+    }
+    if (!any)
+        open.erase(it);
+}
+
+int
+ThrottleController::unmatched(GroupId group, GpuId g) const
+{
+    auto it = open.find(group);
+    if (it == open.end() || g < 0 || g >= numGpus)
+        return 0;
+    return it->second[static_cast<std::size_t>(g)];
+}
+
+} // namespace cais

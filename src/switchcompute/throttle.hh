@@ -1,0 +1,67 @@
+/**
+ * @file
+ * TB-aware request throttling (Sec. III-B.2): when a GPU runs ahead of
+ * its peers in a mergeable TB group — i.e. it keeps opening merge
+ * sessions that sit waiting for the other GPUs — the switch sends it a
+ * throttle hint so it pauses further mergeable requests and lets the
+ * peers catch up. Driven by the merge unit's per-address tracking
+ * state.
+ */
+
+#ifndef CAIS_SWITCHCOMPUTE_THROTTLE_HH
+#define CAIS_SWITCHCOMPUTE_THROTTLE_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace cais
+{
+
+/** Switch-side throttling bookkeeping and hint generation. */
+class ThrottleController
+{
+  public:
+    /**
+     * @param num_gpus fabric size.
+     * @param threshold unmatched contributions per (group, GPU) above
+     *        which a hint is sent.
+     * @param pause_cycles pause duration suggested in hints.
+     * @param hint_interval minimum spacing between hints to one GPU.
+     */
+    ThrottleController(int num_gpus, int threshold, Cycle pause_cycles,
+                       Cycle hint_interval);
+
+    /** Called when GPU @p g contributes to an incomplete session. */
+    void onContribution(GroupId group, GpuId g, Cycle now);
+
+    /** Called when a session closes with contributor mask @p mask. */
+    void onSessionClose(GroupId group, std::uint64_t mask);
+
+    /** Hint sink: (gpu, group, pause cycles). */
+    void setHintCallback(std::function<void(GpuId, GroupId, Cycle)> cb);
+
+    /** Open-session contributions by @p g in @p group. */
+    int unmatched(GroupId group, GpuId g) const;
+
+    std::uint64_t hintsSent() const { return hints.value(); }
+
+  private:
+    int numGpus;
+    int threshold;
+    Cycle pauseCycles;
+    Cycle hintInterval;
+
+    std::unordered_map<GroupId, std::vector<int>> open;
+    std::vector<Cycle> lastHint;
+    std::function<void(GpuId, GroupId, Cycle)> hintCb;
+    Counter hints;
+};
+
+} // namespace cais
+
+#endif // CAIS_SWITCHCOMPUTE_THROTTLE_HH

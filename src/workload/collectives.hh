@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Standalone collective-operation builders and analytic reference
+ * models, used by the NVLS validation experiment (Fig. 18) and the
+ * collective microbenchmarks.
+ *
+ * Since real DGX hardware is unavailable, the "measured" reference of
+ * Fig. 18 is replaced by an analytic NVLS AllReduce model derived
+ * from the algorithm's per-link volumes (see DESIGN.md substitution
+ * table); the experiment then validates that the packet-level
+ * simulation agrees with the analytic bandwidth across message sizes.
+ */
+
+#ifndef CAIS_WORKLOAD_COLLECTIVES_HH
+#define CAIS_WORKLOAD_COLLECTIVES_HH
+
+#include <cstdint>
+
+#include "runtime/system.hh"
+
+namespace cais
+{
+
+/** A standalone collective instance registered on a System. */
+struct CollectiveBench
+{
+    KernelId kernel = invalidId;
+    std::uint64_t bytes = 0; ///< full tensor size
+};
+
+/**
+ * Build an NVLS AllReduce over a @p bytes tensor (input partials are
+ * pre-resident). Each GPU reduces its 1/G chunk via
+ * multimem.ld_reduce and multicasts the result via multimem.st.
+ */
+CollectiveBench buildNvlsAllReduce(System &sys, std::uint64_t bytes,
+                                   int tb_bytes_log2 = 20);
+
+/**
+ * Build a direct software AllReduce (RS + AG phases over P2P writes,
+ * ring-equivalent volume) for comparison.
+ */
+CollectiveBench buildSoftwareAllReduce(System &sys,
+                                       std::uint64_t bytes,
+                                       int tb_bytes_log2 = 20);
+
+/**
+ * Analytic NVLS AllReduce completion time in cycles: per-GPU link
+ * volume is bytes*(G+1)/G each direction at per-direction bandwidth
+ * @p bw, plus a latency term.
+ */
+double nvlsAllReduceAnalyticCycles(int num_gpus, double bw_per_dir,
+                                   std::uint64_t bytes, Cycle rtt);
+
+/** NCCL-style bus bandwidth in bytes/cycle for an AllReduce. */
+double allReduceBusBw(int num_gpus, std::uint64_t bytes,
+                      double cycles);
+
+/** Mark every tile of @p t as already resident (bench inputs). */
+void precontribute(System &sys, const TensorInfo &t);
+
+} // namespace cais
+
+#endif // CAIS_WORKLOAD_COLLECTIVES_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * CUTLASS-style GEMM cost and tiling model. Kernels are tiled in
+ * 128x128 output tiles; the per-TB cost follows a roofline over the
+ * GPU's effective per-SM throughput. Memory-bound (elementwise /
+ * LayerNorm) kernels are costed by bytes touched against the HBM
+ * bandwidth.
+ */
+
+#ifndef CAIS_WORKLOAD_GEMM_MODEL_HH
+#define CAIS_WORKLOAD_GEMM_MODEL_HH
+
+#include <cstdint>
+
+#include "gpu/gpu_config.hh"
+
+namespace cais
+{
+
+/** GEMM tile geometry (CUTLASS default-style 128x128 CTA tiles). */
+struct GemmTiling
+{
+    int tileM = 128;
+    int tileN = 128;
+};
+
+/** ceil(a / b) for positive integers. */
+inline std::int64_t
+ceilDiv(std::int64_t a, std::int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Cycles one GEMM thread block spends computing a tileM x tileN x K
+ *  output tile. */
+Cycle gemmTbCycles(const GpuParams &gp, const GemmTiling &t,
+                   std::int64_t k);
+
+/**
+ * Cycles for a memory-bound thread block touching @p bytes of HBM.
+ * @p expansion accounts for read+write streams (default 2x).
+ */
+Cycle memBoundTbCycles(const GpuParams &gp, std::uint64_t bytes,
+                       double expansion = 2.0);
+
+/**
+ * Cycles for the attention core of one 128-row block: two
+ * seq-length GEMMs per local head slice.
+ */
+Cycle attentionTbCycles(const GpuParams &gp, std::int64_t seq_len,
+                        std::int64_t hidden_per_gpu, int tile_rows);
+
+} // namespace cais
+
+#endif // CAIS_WORKLOAD_GEMM_MODEL_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Transformer layer / sub-layer operator-graph builders.
+ *
+ * Graphs are emitted in TP+SP form (RS/AG collectives, sequence-
+ * sharded LayerNorm and residual ops). Strategies that implement
+ * basic TP re-associate RS + AG into a single AllReduce during
+ * lowering, which is the mathematical equivalence the paper notes in
+ * Sec. II-A.
+ *
+ * The four communication-intensive sub-layers of Fig. 12:
+ *  L1: output projection -> LN -> first FFN layer   (forward)
+ *  L2: second FFN layer  -> LN -> input projection  (forward)
+ *  L3: first FFN layer   -> LN -> output projection (backward)
+ *  L4: input projection  -> LN -> second FFN layer  (backward)
+ * All four are GEMM-RS + LN + AG-GEMM chains.
+ */
+
+#ifndef CAIS_WORKLOAD_TRANSFORMER_HH
+#define CAIS_WORKLOAD_TRANSFORMER_HH
+
+#include "dataflow/op_graph.hh"
+#include "workload/llm_config.hh"
+
+namespace cais
+{
+
+/** The evaluated sub-layers (Fig. 12). */
+enum class SubLayerId { L1 = 0, L2 = 1, L3 = 2, L4 = 3 };
+
+const char *subLayerName(SubLayerId s);
+
+/** Training pass direction. */
+enum class Pass { forward, backward };
+
+/**
+ * One full transformer layer. Backward is modelled as the mirrored
+ * graph with doubled GEMM FLOPs (fused dgrad + wgrad) and identical
+ * collective volumes — the structure the paper's L3/L4 sub-layers
+ * capture explicitly.
+ */
+OpGraph buildTransformerLayer(const LlmConfig &m, Pass pass);
+
+/**
+ * A chain of @p layers consecutive transformer layers (each layer's
+ * residual output feeds the next layer's LayerNorm). Under CAIS's
+ * tile-level dependencies, consecutive layers pipeline into each
+ * other — the steady-state regime where entry skew amortizes and
+ * cross-layer fusion (Sec. III-C) pays off.
+ */
+OpGraph buildTransformerStack(const LlmConfig &m, int layers,
+                              Pass pass);
+
+/** One of the four Fig. 12 sub-layers. */
+OpGraph buildSubLayer(const LlmConfig &m, SubLayerId which);
+
+} // namespace cais
+
+#endif // CAIS_WORKLOAD_TRANSFORMER_HH

@@ -1,0 +1,80 @@
+/** @file Tests for affine address expressions and GPU-invariance. */
+
+#include <gtest/gtest.h>
+
+#include "isa/address_expr.hh"
+
+using namespace cais;
+
+TEST(AddressExpr, ConstantEvaluates)
+{
+    auto e = AddressExpr::constant(4096);
+    EXPECT_EQ(e.eval({}), 4096);
+    EXPECT_TRUE(e.gpuInvariant());
+}
+
+TEST(AddressExpr, AffineEvaluation)
+{
+    // base + 64*blockIdx.x + 8*chunk
+    auto e = AddressExpr::constant(1000) +
+             AddressExpr::term(AddrVar::blockIdxX, 64) +
+             AddressExpr::term(AddrVar::chunkIdx, 8);
+    AddrBindings b;
+    b.blockIdxX = 3;
+    b.chunkIdx = 2;
+    EXPECT_EQ(e.eval(b), 1000 + 192 + 16);
+}
+
+TEST(AddressExpr, GpuInvarianceDetection)
+{
+    auto inv = AddressExpr::term(AddrVar::blockIdxX, 128);
+    EXPECT_TRUE(inv.gpuInvariant());
+
+    auto var = inv + AddressExpr::term(AddrVar::gpuId, 1 << 20);
+    EXPECT_FALSE(var.gpuInvariant());
+
+    // Subtracting the gpu term restores invariance.
+    auto back = var - AddressExpr::term(AddrVar::gpuId, 1 << 20);
+    EXPECT_TRUE(back.gpuInvariant());
+}
+
+TEST(AddressExpr, ScalingMultipliesEverything)
+{
+    auto e = (AddressExpr::constant(2) +
+              AddressExpr::term(AddrVar::blockIdxY, 3))
+                 .scaled(4);
+    EXPECT_EQ(e.constantPart(), 8);
+    EXPECT_EQ(e.coeff(AddrVar::blockIdxY), 12);
+}
+
+TEST(AddressExpr, InPlaceBuilders)
+{
+    AddressExpr e;
+    e.addTerm(AddrVar::threadIdxX, 4).addConst(100);
+    AddrBindings b;
+    b.threadIdxX = 8;
+    EXPECT_EQ(e.eval(b), 132);
+}
+
+TEST(AddressExpr, EqualityAndStr)
+{
+    auto a = AddressExpr::term(AddrVar::blockIdxX, 64);
+    auto b = AddressExpr::term(AddrVar::blockIdxX, 64);
+    EXPECT_TRUE(a == b);
+    EXPECT_NE(a.str().find("blockIdx.x"), std::string::npos);
+}
+
+TEST(AddressExpr, SameBlockIdxSameAddressAcrossGpus)
+{
+    // The core compiler property: a gpu-invariant expression yields
+    // identical addresses for TBs with equal blockIdx on any GPU.
+    auto e = AddressExpr::constant(1 << 16) +
+             AddressExpr::term(AddrVar::blockIdxX, 4096);
+    for (int tb = 0; tb < 8; ++tb) {
+        AddrBindings g0, g7;
+        g0.blockIdxX = g7.blockIdxX = tb;
+        g0.gpuId = 0;
+        g7.gpuId = 7;
+        EXPECT_EQ(e.eval(g0), e.eval(g7));
+    }
+}

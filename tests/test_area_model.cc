@@ -1,0 +1,91 @@
+/** @file Tests for the Sec. V-D hardware-overhead model and the
+ *  bandwidth reporting helpers. */
+
+#include <gtest/gtest.h>
+
+#include "analysis/area_model.hh"
+#include "analysis/bandwidth_probe.hh"
+
+using namespace cais;
+
+TEST(AreaModel, SwitchExtensionNearHalfSquareMillimeter)
+{
+    AreaBreakdown a =
+        switchExtensionArea(SwitchAreaConfig{}, ProcessParams{});
+    // Paper: ~0.50 mm^2 under TSMC 12 nm, <1% of the NVSwitch die.
+    EXPECT_NEAR(a.totalMm2, 0.50, 0.15);
+    EXPECT_LT(a.totalMm2 / ProcessParams{}.nvswitchDieMm2, 0.01);
+    EXPECT_GT(a.mergingTableMm2, 0.0);
+    EXPECT_GT(a.camMm2, 0.0);
+    EXPECT_GT(a.reductionAlusMm2, 0.0);
+}
+
+TEST(AreaModel, GpuSynchronizerTiny)
+{
+    AreaBreakdown a =
+        gpuSynchronizerArea(GpuAreaConfig{}, ProcessParams{});
+    // Paper: 0.019 mm^2 per die, <0.01% of an H100.
+    EXPECT_NEAR(a.totalMm2, 0.019, 0.008);
+    EXPECT_LT(a.totalMm2 / ProcessParams{}.h100DieMm2, 1e-4);
+}
+
+TEST(AreaModel, AreaScalesWithTableSize)
+{
+    SwitchAreaConfig small, big;
+    big.mergeTableBytesPerPort = 4 * small.mergeTableBytesPerPort;
+    double a = switchExtensionArea(small, ProcessParams{}).totalMm2;
+    double b = switchExtensionArea(big, ProcessParams{}).totalMm2;
+    EXPECT_GT(b, 2.0 * a);
+}
+
+TEST(AreaModel, SystemBoundIndependentOfGpuCount)
+{
+    // Sec. V-C.2: the bound follows one GPU's outstanding window, not
+    // the number of GPUs.
+    std::uint64_t b8 = systemMergeTableBound(320, 4096, 4, 8);
+    std::uint64_t b32 = systemMergeTableBound(320, 4096, 8, 32);
+    EXPECT_EQ(b8, b32);
+    // ~1.28 MB, the paper's system-wide bound.
+    EXPECT_NEAR(static_cast<double>(b8), 1280.0 * 1024.0, 4e5);
+}
+
+TEST(AreaModel, BreakdownRenders)
+{
+    AreaBreakdown a =
+        switchExtensionArea(SwitchAreaConfig{}, ProcessParams{});
+    std::string s = a.str();
+    EXPECT_NE(s.find("merging table"), std::string::npos);
+    EXPECT_NE(s.find("total"), std::string::npos);
+}
+
+TEST(BandwidthProbe, PctAndBar)
+{
+    EXPECT_EQ(pct(0.902), " 90.2%");
+    std::string bar = asciiBar(0.5, 10);
+    EXPECT_EQ(bar, "#####.....");
+    EXPECT_EQ(asciiBar(-1.0, 4), "....");
+    EXPECT_EQ(asciiBar(2.0, 4), "####");
+}
+
+TEST(BandwidthProbe, DownsampleAverages)
+{
+    std::vector<double> s{1, 1, 3, 3, 5, 5};
+    auto d = downsample(s, 3);
+    ASSERT_EQ(d.size(), 3u);
+    EXPECT_DOUBLE_EQ(d[0], 1.0);
+    EXPECT_DOUBLE_EQ(d[1], 3.0);
+    EXPECT_DOUBLE_EQ(d[2], 5.0);
+    EXPECT_EQ(downsample(s, 10).size(), s.size());
+}
+
+TEST(BandwidthProbe, RenderSeriesProducesRows)
+{
+    std::vector<double> s(100, 0.75);
+    std::string out = renderSeries(s, 1000, 10);
+    // Ten rows, each with a percentage and a bar.
+    int rows = 0;
+    for (char c : out)
+        rows += c == '\n';
+    EXPECT_EQ(rows, 10);
+    EXPECT_NE(out.find("75.0%"), std::string::npos);
+}

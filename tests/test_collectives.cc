@@ -1,0 +1,92 @@
+/** @file Tests for standalone collectives and the analytic models. */
+
+#include <gtest/gtest.h>
+
+#include "workload/collectives.hh"
+
+using namespace cais;
+
+namespace
+{
+
+SystemConfig
+collectiveConfig()
+{
+    SystemConfig c;
+    c.fabric.numGpus = 4;
+    c.fabric.numSwitches = 2;
+    c.gpu.numSms = 8;
+    c.gpu.jitterSigma = 0.0;
+    c.gpu.maxStartSkew = 0;
+    c.gpu.kernelLaunchOverhead = 0;
+    return c;
+}
+
+} // namespace
+
+TEST(Collectives, NvlsAllReduceCompletesAllReplicas)
+{
+    System sys(collectiveConfig());
+    CollectiveBench b = buildNvlsAllReduce(sys, 8 << 20, 18);
+    sys.run();
+    EXPECT_GT(sys.makespan(), 0u);
+    EXPECT_TRUE(sys.tracker(
+        sys.kernel(b.kernel).producesTracker).complete());
+}
+
+TEST(Collectives, NvlsAllReduceNearAnalyticTime)
+{
+    SystemConfig cfg = collectiveConfig();
+    System sys(cfg);
+    std::uint64_t bytes = 16 << 20;
+    CollectiveBench b = buildNvlsAllReduce(sys, bytes, 18);
+    sys.run();
+
+    // Compare with the analytic model at protocol-derated bandwidth.
+    double analytic = nvlsAllReduceAnalyticCycles(
+        4, cfg.fabric.perGpuBytesPerCycle /
+            (1.0 + 1.0 / protocolPadDivisor),
+        b.bytes, 2 * cfg.fabric.linkLatency);
+    double sim = static_cast<double>(sys.makespan());
+    EXPECT_NEAR(sim / analytic, 1.0, 0.40);
+}
+
+TEST(Collectives, SoftwareAllReduceSlowerThanNvls)
+{
+    std::uint64_t bytes = 8 << 20;
+    System a(collectiveConfig());
+    CollectiveBench nv = buildNvlsAllReduce(a, bytes, 18);
+    a.run();
+    System b(collectiveConfig());
+    CollectiveBench sw = buildSoftwareAllReduce(b, bytes, 18);
+    b.run();
+    EXPECT_EQ(nv.bytes, sw.bytes);
+    // NVLS saves the 2(G-1)/G vs (G+1)/G volume difference.
+    EXPECT_GT(b.makespan(), a.makespan());
+    EXPECT_TRUE(b.tracker(
+        b.kernel(sw.kernel).producesTracker).complete());
+}
+
+TEST(Collectives, AnalyticBandwidthScalesWithMessageSize)
+{
+    // Latency amortizes: bus bandwidth grows and saturates.
+    double bw_small = allReduceBusBw(
+        8, 1 << 20,
+        nvlsAllReduceAnalyticCycles(8, 450.0, 1 << 20, 1000));
+    double bw_big = allReduceBusBw(
+        8, 1 << 30,
+        nvlsAllReduceAnalyticCycles(8, 450.0, 1 << 30, 1000));
+    EXPECT_GT(bw_big, bw_small);
+    // Asymptote: 2(G-1)/(G+1) x per-direction bandwidth.
+    EXPECT_NEAR(bw_big, 450.0 * 14.0 / 9.0, 10.0);
+}
+
+TEST(Collectives, PrecontributeMakesTensorReady)
+{
+    System sys(collectiveConfig());
+    TensorInfo &t = sys.defineTensor(
+        "pre", TensorLayout::perGpuPrivate, 4 * 128, 64, 2, 128, 3);
+    EXPECT_FALSE(sys.tracker(t.tracker).complete());
+    precontribute(sys, t);
+    EXPECT_TRUE(sys.tracker(t.tracker).complete());
+}

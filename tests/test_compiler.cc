@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the compiler passes: static index analysis, TB grouping,
+ * and CAIS lowering (Sec. III-B.1 / Fig. 8a).
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/cais_lowering.hh"
+#include "compiler/index_analysis.hh"
+
+using namespace cais;
+
+namespace
+{
+
+IrKernel
+stageKernel()
+{
+    // A stage/AllGather-consumer kernel: loads a remote row-block
+    // whose index depends only on blockIdx.x -> GPU-invariant.
+    IrKernel k;
+    k.name = "ag.stage";
+    k.gridX = 16;
+    MemInstr ld;
+    ld.op = Opcode::ldGlobal;
+    ld.remote = true;
+    ld.bytesPerTb = 1 << 20;
+    ld.addr = AddressExpr::term(AddrVar::blockIdxX, 1 << 20);
+    k.accesses.push_back(ld);
+    return k;
+}
+
+IrKernel
+gemmRsKernel()
+{
+    // GEMM-RS: reduction pushes keyed by (blockIdx.y, blockIdx.x).
+    IrKernel k;
+    k.name = "gemm-rs";
+    k.gridX = 4;
+    k.gridY = 8;
+    k.flopsPerTb = 1 << 24;
+    MemInstr red;
+    red.op = Opcode::redGlobal;
+    red.remote = true;
+    red.bytesPerTb = 32768;
+    red.addr = AddressExpr::term(AddrVar::blockIdxY, 1 << 18) +
+               AddressExpr::term(AddrVar::blockIdxX, 32768);
+    k.accesses.push_back(red);
+    return k;
+}
+
+IrKernel
+gpuVariantKernel()
+{
+    // Index contains the GPU id: different GPUs touch different
+    // addresses -> not mergeable.
+    IrKernel k;
+    k.name = "private";
+    k.gridX = 8;
+    MemInstr ld;
+    ld.op = Opcode::ldGlobal;
+    ld.remote = true;
+    ld.bytesPerTb = 4096;
+    ld.addr = AddressExpr::term(AddrVar::blockIdxX, 4096) +
+              AddressExpr::term(AddrVar::gpuId, 1 << 30);
+    k.accesses.push_back(ld);
+    return k;
+}
+
+} // namespace
+
+TEST(IndexAnalysis, GpuInvariantLoadIsMergeable)
+{
+    auto cls = analyzeKernel(stageKernel());
+    ASSERT_EQ(cls.size(), 1u);
+    EXPECT_TRUE(cls[0].gpuInvariant);
+    EXPECT_TRUE(cls[0].remote);
+    EXPECT_TRUE(cls[0].mergeableLoad);
+    EXPECT_FALSE(cls[0].mergeableReduction);
+}
+
+TEST(IndexAnalysis, GpuVariantIsNotMergeable)
+{
+    auto cls = analyzeKernel(gpuVariantKernel());
+    EXPECT_FALSE(cls[0].gpuInvariant);
+    EXPECT_FALSE(cls[0].mergeable());
+}
+
+TEST(IndexAnalysis, LocalAccessIsNotMergeable)
+{
+    IrKernel k = stageKernel();
+    k.accesses[0].remote = false;
+    EXPECT_FALSE(hasMergeableAccess(k));
+}
+
+TEST(IndexAnalysis, ReductionMergeability)
+{
+    auto cls = analyzeKernel(gemmRsKernel());
+    EXPECT_TRUE(cls[0].mergeableReduction);
+    EXPECT_FALSE(cls[0].mergeableLoad);
+}
+
+TEST(TbGrouping, OneGroupPerBlockIdx)
+{
+    auto plan = groupTbs(gemmRsKernel(), 100);
+    EXPECT_TRUE(plan.grouped);
+    EXPECT_EQ(plan.numGroups, 32);
+    EXPECT_EQ(plan.firstGroup, 100);
+    // Group ids are dense and unique per linear blockIdx.
+    for (int tb = 0; tb < 32; ++tb)
+        EXPECT_EQ(plan.groupOfTb[static_cast<std::size_t>(tb)],
+                  100 + tb);
+}
+
+TEST(TbGrouping, UngroupedWhenNothingMergeable)
+{
+    auto plan = groupTbs(gpuVariantKernel(), 0);
+    EXPECT_FALSE(plan.grouped);
+    for (GroupId g : plan.groupOfTb)
+        EXPECT_EQ(g, invalidId);
+}
+
+TEST(CaisLowering, RewritesLoadsAndReductions)
+{
+    auto ld = lowerToCais(stageKernel(), 0);
+    EXPECT_EQ(ld.numLowered, 1);
+    EXPECT_EQ(ld.kernel.accesses[0].op, Opcode::ldCais);
+    EXPECT_TRUE(ld.kernel.accesses[0].caisFlag);
+
+    auto red = lowerToCais(gemmRsKernel(), 50);
+    EXPECT_EQ(red.numLowered, 1);
+    EXPECT_EQ(red.kernel.accesses[0].op, Opcode::redCais);
+    EXPECT_TRUE(red.kernel.accesses[0].caisFlag);
+}
+
+TEST(CaisLowering, LeavesUnmergeableKernelsUntouched)
+{
+    auto res = lowerToCais(gpuVariantKernel(), 0);
+    EXPECT_EQ(res.numLowered, 0);
+    EXPECT_EQ(res.kernel.accesses[0].op, Opcode::ldGlobal);
+    EXPECT_FALSE(res.kernel.accesses[0].caisFlag);
+    EXPECT_FALSE(res.plan.grouped);
+}
+
+TEST(CaisLowering, PreservesAddressExpressions)
+{
+    IrKernel k = stageKernel();
+    auto res = lowerToCais(k, 0);
+    EXPECT_TRUE(res.kernel.accesses[0].addr == k.accesses[0].addr);
+    EXPECT_EQ(res.kernel.accesses[0].bytesPerTb,
+              k.accesses[0].bytesPerTb);
+}
+
+TEST(IrKernel, ValidateAndRender)
+{
+    IrKernel k = gemmRsKernel();
+    k.validate();
+    std::string s = k.str();
+    EXPECT_NE(s.find("gemm-rs"), std::string::npos);
+    EXPECT_NE(s.find("red.global"), std::string::npos);
+    EXPECT_EQ(IrKernel::linearTb(3, 2, 4), 11);
+}

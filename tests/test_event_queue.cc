@@ -1,0 +1,99 @@
+/** @file Unit tests for the discrete-event simulation core. */
+
+#include <gtest/gtest.h>
+
+#include "common/event_queue.hh"
+
+using namespace cais;
+
+TEST(EventQueue, StartsEmptyAtTimeZero)
+{
+    EventQueue eq;
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_FALSE(eq.runOne());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(7, [&, i] { order.push_back(i); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsMayScheduleFurtherEvents)
+{
+    EventQueue eq;
+    int hits = 0;
+    std::function<void()> chain = [&] {
+        ++hits;
+        if (hits < 10)
+            eq.scheduleAfter(5, chain);
+    };
+    eq.schedule(0, chain);
+    eq.runAll();
+    EXPECT_EQ(hits, 10);
+    EXPECT_EQ(eq.now(), 45u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int hits = 0;
+    for (Cycle t = 0; t < 100; t += 10)
+        eq.schedule(t, [&] { ++hits; });
+    std::uint64_t n = eq.runUntil(45);
+    EXPECT_EQ(n, 5u);
+    EXPECT_EQ(hits, 5);
+    EXPECT_EQ(eq.size(), 5u);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWhenDrained)
+{
+    EventQueue eq;
+    eq.runUntil(1000);
+    EXPECT_EQ(eq.now(), 1000u);
+}
+
+TEST(EventQueue, RunAllHonorsEventBudget)
+{
+    EventQueue eq;
+    std::function<void()> forever = [&] { eq.scheduleAfter(1, forever); };
+    eq.schedule(0, forever);
+    std::uint64_t n = eq.runAll(1000);
+    EXPECT_EQ(n, 1000u);
+}
+
+TEST(EventQueue, ResetClearsStateAndTime)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.runAll();
+    eq.reset();
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.executed(), 0u);
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.runAll();
+    EXPECT_DEATH(eq.schedule(50, [] {}), "past");
+}

@@ -1,0 +1,87 @@
+/** @file Tests for the graph-level dataflow optimizer. */
+
+#include <gtest/gtest.h>
+
+#include "dataflow/fusion_planner.hh"
+#include "workload/transformer.hh"
+
+using namespace cais;
+
+TEST(FusionPlanner, ClassifiesSubLayerTraffic)
+{
+    OpGraph g = buildSubLayer(llama7B(), SubLayerId::L1);
+    // gemm-rs pushes reductions upstream; ag-gemm pulls downstream.
+    EXPECT_EQ(FusionPlanner::classify(g, 0), TrafficDir::gpuToSwitch);
+    EXPECT_EQ(FusionPlanner::classify(g, 1), TrafficDir::gpuToSwitch);
+    EXPECT_EQ(FusionPlanner::classify(g, 2), TrafficDir::none);
+    EXPECT_EQ(FusionPlanner::classify(g, 3), TrafficDir::switchToGpu);
+    EXPECT_EQ(FusionPlanner::classify(g, 4), TrafficDir::switchToGpu);
+}
+
+TEST(FusionPlanner, PairsComplementaryGemms)
+{
+    OpGraph g = buildSubLayer(llama7B(), SubLayerId::L1);
+    FusionPlan p = FusionPlanner().plan(g);
+
+    ASSERT_EQ(p.asymmetricPairs.size(), 1u);
+    auto [a, c] = p.asymmetricPairs[0];
+    EXPECT_EQ(a, 0); // gemm-rs
+    EXPECT_EQ(c, 4); // ag-gemm
+    EXPECT_EQ(p.of(a).overlapsWith, c);
+    EXPECT_EQ(p.of(c).overlapsWith, a);
+
+    // Disjoint SM halves.
+    EXPECT_DOUBLE_EQ(p.of(a).smFrom, 0.0);
+    EXPECT_DOUBLE_EQ(p.of(a).smTo, 0.5);
+    EXPECT_DOUBLE_EQ(p.of(c).smFrom, 0.5);
+    EXPECT_DOUBLE_EQ(p.of(c).smTo, 1.0);
+}
+
+TEST(FusionPlanner, TileDepsFollowOption)
+{
+    OpGraph g = buildSubLayer(llama7B(), SubLayerId::L2);
+    FusionOptions on;
+    FusionPlan p1 = FusionPlanner().plan(g, on);
+    for (const auto &s : p1.sched)
+        EXPECT_TRUE(s.tileLevelDeps);
+
+    FusionOptions off;
+    off.enableTileDeps = false;
+    off.enableAsymmetricOverlap = false;
+    FusionPlan p2 = FusionPlanner().plan(g, off);
+    for (const auto &s : p2.sched) {
+        EXPECT_FALSE(s.tileLevelDeps);
+        EXPECT_EQ(s.overlapsWith, invalidId);
+        EXPECT_DOUBLE_EQ(s.smFrom, 0.0);
+        EXPECT_DOUBLE_EQ(s.smTo, 1.0);
+    }
+}
+
+TEST(FusionPlanner, RespectsPairDistance)
+{
+    OpGraph g = buildSubLayer(llama7B(), SubLayerId::L1);
+    FusionOptions opt;
+    opt.maxPairDistance = 1; // ag-gemm is several hops downstream
+    FusionPlan p = FusionPlanner().plan(g, opt);
+    EXPECT_TRUE(p.asymmetricPairs.empty());
+}
+
+TEST(FusionPlanner, FullLayerFindsBothPairs)
+{
+    OpGraph g = buildTransformerLayer(llama7B(), Pass::forward);
+    FusionPlan p = FusionPlanner().plan(g);
+    // attn.outproj <-> ffn.fc1 and ffn.fc2 <-> (next layer absent):
+    // at least the intra-layer pair must be found.
+    EXPECT_GE(p.asymmetricPairs.size(), 1u);
+    for (auto [a, c] : p.asymmetricPairs) {
+        EXPECT_EQ(g.node(a).kind, OpKind::gemmRowParallel);
+        EXPECT_EQ(g.node(c).kind, OpKind::gemmColParallel);
+    }
+}
+
+TEST(FusionPlanner, DirNames)
+{
+    EXPECT_STREQ(trafficDirName(TrafficDir::gpuToSwitch), "G2S");
+    EXPECT_STREQ(trafficDirName(TrafficDir::switchToGpu), "S2G");
+    EXPECT_STREQ(trafficDirName(TrafficDir::balanced), "balanced");
+}

@@ -1,0 +1,92 @@
+/** @file Tests for the PTX-level instruction descriptors (Fig. 1g/4). */
+
+#include <gtest/gtest.h>
+
+#include "isa/instr.hh"
+
+using namespace cais;
+
+TEST(Instr, OpcodeNamesMatchPtxSyntax)
+{
+    EXPECT_STREQ(opcodeName(Opcode::multimemSt), "multimem.st");
+    EXPECT_STREQ(opcodeName(Opcode::multimemLdReduce),
+                 "multimem.ld_reduce");
+    EXPECT_STREQ(opcodeName(Opcode::multimemRed), "multimem.red");
+    EXPECT_STREQ(opcodeName(Opcode::ldCais), "ld.cais");
+    EXPECT_STREQ(opcodeName(Opcode::redCais), "red.cais");
+}
+
+TEST(Instr, CaisClassification)
+{
+    EXPECT_TRUE(isCais(Opcode::ldCais));
+    EXPECT_TRUE(isCais(Opcode::redCais));
+    EXPECT_FALSE(isCais(Opcode::multimemSt));
+    EXPECT_FALSE(isCais(Opcode::ldGlobal));
+}
+
+TEST(Instr, MultimemClassification)
+{
+    EXPECT_TRUE(isMultimem(Opcode::multimemSt));
+    EXPECT_TRUE(isMultimem(Opcode::multimemLdReduce));
+    EXPECT_TRUE(isMultimem(Opcode::multimemRed));
+    EXPECT_FALSE(isMultimem(Opcode::ldCais));
+}
+
+/**
+ * The push/pull table of Fig. 1(g): NVLS implements AllGather as
+ * push-mode stores and ReduceScatter as pull-mode loads, which is
+ * exactly the mismatch with compute kernels the paper identifies;
+ * the CAIS instructions carry the opposite (matching) modes.
+ */
+TEST(Instr, CommModesMatchFig1g)
+{
+    EXPECT_EQ(commMode(Opcode::multimemSt), CommMode::push);
+    EXPECT_EQ(commMode(Opcode::multimemLdReduce), CommMode::pull);
+    EXPECT_EQ(commMode(Opcode::multimemRed), CommMode::push);
+    // CAIS: loads pull on demand, reductions push inline.
+    EXPECT_EQ(commMode(Opcode::ldCais), CommMode::pull);
+    EXPECT_EQ(commMode(Opcode::redCais), CommMode::push);
+    EXPECT_EQ(commMode(Opcode::ldGlobal), CommMode::local);
+}
+
+TEST(Instr, MemSemantics)
+{
+    EXPECT_EQ(memSemantic(Opcode::ldCais), MemSemantic::read);
+    EXPECT_EQ(memSemantic(Opcode::multimemLdReduce),
+              MemSemantic::read);
+    EXPECT_EQ(memSemantic(Opcode::redCais), MemSemantic::write);
+    EXPECT_EQ(memSemantic(Opcode::multimemSt), MemSemantic::write);
+    EXPECT_EQ(memSemantic(Opcode::redGlobal), MemSemantic::write);
+}
+
+TEST(Instr, AlignmentProperty)
+{
+    // CAIS's central claim, as an ISA-level property: for each CAIS
+    // instruction, the communication mode matches the memory
+    // semantic (read <-> pull, write <-> push); NVLS AllGather's
+    // store breaks it for the consumer side (read needed, push
+    // provided).
+    auto matches = [](Opcode op) {
+        CommMode m = commMode(op);
+        MemSemantic s = memSemantic(op);
+        return (s == MemSemantic::read && m == CommMode::pull) ||
+               (s == MemSemantic::write && m == CommMode::push);
+    };
+    EXPECT_TRUE(matches(Opcode::ldCais));
+    EXPECT_TRUE(matches(Opcode::redCais));
+    // A consumer needing reads is handed a push-mode AllGather.
+    EXPECT_FALSE(memSemantic(Opcode::multimemSt) == MemSemantic::read);
+}
+
+TEST(Instr, MemInstrRendering)
+{
+    MemInstr mi;
+    mi.op = Opcode::ldCais;
+    mi.addr = AddressExpr::term(AddrVar::blockIdxX, 4096);
+    mi.bytesPerTb = 1024;
+    mi.caisFlag = true;
+    std::string s = mi.str();
+    EXPECT_NE(s.find("ld.cais"), std::string::npos);
+    EXPECT_NE(s.find("cais"), std::string::npos);
+    EXPECT_NE(s.find("1024"), std::string::npos);
+}

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Integration tests: full sub-layer simulations through runGraph()
+ * under every strategy, checking completion, conservation, and the
+ * paper's qualitative orderings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/simulation_driver.hh"
+#include "workload/transformer.hh"
+
+using namespace cais;
+
+namespace
+{
+
+RunConfig
+fastConfig()
+{
+    RunConfig cfg;
+    cfg.numGpus = 8;
+    cfg.numSwitches = 4;
+    return cfg;
+}
+
+LlmConfig
+fastModel()
+{
+    return llama7B().scaled(0.25, 0.125);
+}
+
+} // namespace
+
+TEST(Integration, EveryStrategyCompletesTheSubLayer)
+{
+    OpGraph g = buildSubLayer(fastModel(), SubLayerId::L1);
+    for (const StrategySpec &spec : allStrategies()) {
+        RunResult r = runGraph(spec, g, fastConfig(), "L1");
+        EXPECT_GT(r.makespan, 0u) << spec.name;
+        EXPECT_GT(r.wireBytes, 0u) << spec.name;
+        EXPECT_GT(r.gpuUtil, 0.0) << spec.name;
+        EXPECT_LE(r.avgUtil, 1.0) << spec.name;
+    }
+}
+
+TEST(Integration, CaisBeatsEveryBaselineOnSubLayer)
+{
+    OpGraph g = buildSubLayer(fastModel(), SubLayerId::L1);
+    RunConfig cfg = fastConfig();
+    RunResult cais = runGraph(strategyByName("CAIS"), g, cfg, "L1");
+    for (const StrategySpec &spec : allStrategies()) {
+        if (spec.name == "CAIS")
+            continue;
+        RunResult r = runGraph(spec, g, cfg, "L1");
+        EXPECT_GT(speedupOver(r, cais), 1.0)
+            << "CAIS should beat " << spec.name;
+    }
+}
+
+TEST(Integration, LadmIsTheSlowestBaseline)
+{
+    OpGraph g = buildSubLayer(fastModel(), SubLayerId::L1);
+    RunConfig cfg = fastConfig();
+    RunResult ladm = runGraph(strategyByName("LADM"), g, cfg, "L1");
+    RunResult cais = runGraph(strategyByName("CAIS"), g, cfg, "L1");
+    // The paper reports ~7.6-7.9x; our substrate lands in the same
+    // several-fold regime.
+    EXPECT_GT(speedupOver(ladm, cais), 2.0);
+    for (const StrategySpec &spec : allStrategies()) {
+        if (spec.name == "LADM")
+            continue;
+        RunResult r = runGraph(spec, g, cfg, "L1");
+        EXPECT_GT(ladm.makespan, r.makespan)
+            << "LADM should trail " << spec.name;
+    }
+}
+
+TEST(Integration, CoordinationReducesStaggerAndMisses)
+{
+    OpGraph g = buildSubLayer(fastModel(), SubLayerId::L1);
+    RunConfig cfg = fastConfig();
+    cfg.unboundedMergeTable = true;
+    RunResult with = runGraph(strategyByName("CAIS"), g, cfg, "L1");
+    RunResult without =
+        runGraph(strategyByName("CAIS-w/o-Coord"), g, cfg, "L1");
+    EXPECT_LT(with.staggerUs, without.staggerUs);
+    EXPECT_LE(with.peakMergeBytes, without.peakMergeBytes);
+}
+
+TEST(Integration, MergingConservesHomeTraffic)
+{
+    // CAIS's merged loads move less wire data than LADM's
+    // unmerged per-GPU pulls of the same tensors.
+    OpGraph g = buildSubLayer(fastModel(), SubLayerId::L1);
+    RunConfig cfg = fastConfig();
+    RunResult cais = runGraph(strategyByName("CAIS"), g, cfg, "L1");
+    RunResult ladm = runGraph(strategyByName("LADM"), g, cfg, "L1");
+    EXPECT_LT(cais.wireBytes, ladm.wireBytes);
+}
+
+TEST(Integration, FullMergingWithCoordination)
+{
+    OpGraph g = buildSubLayer(fastModel(), SubLayerId::L1);
+    RunConfig cfg = fastConfig();
+    RunResult r = runGraph(strategyByName("CAIS"), g, cfg, "L1");
+    // Every mergeable load hits a session or opens the single fetch:
+    // fetches == requests / (G-1), hits == requests - fetches.
+    EXPECT_EQ(r.mergeFetches + r.mergeLoadHits, r.mergeLoadReqs);
+    EXPECT_NEAR(static_cast<double>(r.mergeLoadHits) /
+                    static_cast<double>(r.mergeLoadReqs),
+                6.0 / 7.0, 0.05);
+}
+
+TEST(Integration, CommKernelTimeDominatesForNvlsBaseline)
+{
+    // The Fig. 2 regime: at 8 GPUs communication exceeds computation
+    // for the serialized NVLS baseline.
+    OpGraph g = buildSubLayer(llama7B().scaled(0.5, 0.25),
+                              SubLayerId::L1);
+    RunResult r =
+        runGraph(strategyByName("SP-NVLS"), g, fastConfig(), "L1");
+    EXPECT_GT(r.commKernelCycles, 0u);
+    EXPECT_GT(r.computeKernelCycles, 0u);
+    double ratio = static_cast<double>(r.commKernelCycles) /
+                   static_cast<double>(r.computeKernelCycles);
+    EXPECT_GT(ratio, 0.8);
+    EXPECT_LT(ratio, 4.0);
+}
+
+TEST(Integration, TrainingSubLayersAreHeavierThanForward)
+{
+    RunConfig cfg = fastConfig();
+    LlmConfig m = fastModel();
+    RunResult fwd = runGraph(strategyByName("CAIS"),
+                             buildSubLayer(m, SubLayerId::L1), cfg,
+                             "L1");
+    RunResult bwd = runGraph(strategyByName("CAIS"),
+                             buildSubLayer(m, SubLayerId::L3), cfg,
+                             "L3");
+    EXPECT_GT(bwd.makespan, fwd.makespan);
+}
+
+TEST(Integration, FullLayerRunsUnderCaisAndNvls)
+{
+    OpGraph g = buildTransformerLayer(fastModel(), Pass::forward);
+    RunConfig cfg = fastConfig();
+    RunResult cais = runGraph(strategyByName("CAIS"), g, cfg, "layer");
+    RunResult nvls =
+        runGraph(strategyByName("SP-NVLS"), g, cfg, "layer");
+    EXPECT_GT(cais.makespan, 0u);
+    EXPECT_GT(speedupOver(nvls, cais), 1.0);
+}
+
+TEST(Integration, UtilizationSeriesCoversRun)
+{
+    OpGraph g = buildSubLayer(fastModel(), SubLayerId::L2);
+    RunResult r =
+        runGraph(strategyByName("CAIS"), g, fastConfig(), "L2");
+    ASSERT_FALSE(r.utilSeries.empty());
+    double peak = 0.0;
+    for (double v : r.utilSeries) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+        peak = std::max(peak, v);
+    }
+    EXPECT_GT(peak, 0.05);
+}
+
+TEST(Integration, GeomeanHelper)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}

@@ -1,0 +1,51 @@
+/** @file Tests for logging/formatting helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+using namespace cais;
+
+TEST(Log, StrfmtFormats)
+{
+    EXPECT_EQ(strfmt("x=%d y=%s", 42, "ok"), "x=42 y=ok");
+    EXPECT_EQ(strfmt("%.2f", 3.14159), "3.14");
+    EXPECT_EQ(strfmt("empty"), "empty");
+    // Long strings are not truncated.
+    std::string big(500, 'a');
+    EXPECT_EQ(strfmt("%s", big.c_str()).size(), 500u);
+}
+
+TEST(Log, LevelsRoundTrip)
+{
+    LogLevel before = logLevel();
+    setLogLevel(LogLevel::quiet);
+    EXPECT_EQ(logLevel(), LogLevel::quiet);
+    inform("suppressed %d", 1); // must not crash
+    setLogLevel(LogLevel::verbose);
+    informVerbose("verbose %d", 2);
+    setLogLevel(before);
+}
+
+TEST(LogDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 7), "boom 7");
+}
+
+TEST(LogDeathTest, FatalExitsCleanly)
+{
+    EXPECT_EXIT(fatal("bad config %s", "x"),
+                ::testing::ExitedWithCode(1), "bad config x");
+}
+
+TEST(Types, AddressHomeEncoding)
+{
+    for (GpuId g : {0, 1, 7, 31}) {
+        Addr a = makeAddr(g, 0x12345);
+        EXPECT_EQ(addrHomeGpu(a), g);
+        EXPECT_EQ(addrOffset(a), 0x12345u);
+    }
+    EXPECT_EQ(cyclesPerUs, 1000u);
+    EXPECT_EQ(cyclesPerMs, 1000u * 1000u);
+}

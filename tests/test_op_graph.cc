@@ -1,0 +1,142 @@
+/** @file Tests for the operator graph and transformer builders. */
+
+#include <gtest/gtest.h>
+
+#include "dataflow/op_graph.hh"
+#include "workload/transformer.hh"
+
+using namespace cais;
+
+TEST(OpGraph, AddAndQuery)
+{
+    OpGraph g;
+    OpId a = g.addOp(OpKind::gemmRowParallel, "g1", 256, 128, 512, {});
+    OpId b = g.addOp(OpKind::reduceScatter, "rs", 256, 128, 0, {a});
+    OpId c = g.addOp(OpKind::layerNorm, "ln", 256, 128, 0, {b});
+    g.validate();
+
+    EXPECT_EQ(g.size(), 3u);
+    EXPECT_EQ(g.node(b).inputs.front(), a);
+    auto cons = g.consumers(b);
+    ASSERT_EQ(cons.size(), 1u);
+    EXPECT_EQ(cons[0], c);
+    EXPECT_TRUE(isCommOp(g.node(b).kind));
+    EXPECT_FALSE(isCommOp(g.node(a).kind));
+}
+
+TEST(OpGraph, FlopsModel)
+{
+    OpGraph g;
+    OpId a = g.addOp(OpKind::gemmColParallel, "g", 64, 32, 16, {});
+    EXPECT_DOUBLE_EQ(g.node(a).flops(), 2.0 * 64 * 32 * 16);
+    EXPECT_EQ(g.node(a).outputBytes(), 64u * 32u * 2u);
+}
+
+TEST(OpGraphDeathTest, ForwardReferencePanics)
+{
+    OpGraph g;
+    g.addOp(OpKind::elementwise, "e", 8, 8, 0, {5});
+    EXPECT_DEATH(g.validate(), "earlier");
+}
+
+TEST(Transformer, SubLayersAreRsLnAgChains)
+{
+    LlmConfig m = llama7B();
+    for (SubLayerId id : {SubLayerId::L1, SubLayerId::L2,
+                          SubLayerId::L3, SubLayerId::L4}) {
+        OpGraph g = buildSubLayer(m, id);
+        ASSERT_EQ(g.size(), 5u) << subLayerName(id);
+        EXPECT_EQ(g.node(0).kind, OpKind::gemmRowParallel);
+        EXPECT_EQ(g.node(1).kind, OpKind::reduceScatter);
+        EXPECT_EQ(g.node(2).kind, OpKind::layerNorm);
+        EXPECT_EQ(g.node(3).kind, OpKind::allGather);
+        EXPECT_EQ(g.node(4).kind, OpKind::gemmColParallel);
+        EXPECT_TRUE(g.node(2).rowSharded);
+    }
+}
+
+TEST(Transformer, BackwardSubLayersDoubleGemmFlops)
+{
+    LlmConfig m = megaGpt4B();
+    OpGraph fwd = buildSubLayer(m, SubLayerId::L1);
+    OpGraph bwd = buildSubLayer(m, SubLayerId::L3);
+    EXPECT_DOUBLE_EQ(fwd.node(0).flopScale, 1.0);
+    EXPECT_DOUBLE_EQ(bwd.node(0).flopScale, 2.0);
+}
+
+TEST(Transformer, SubLayerShapesMatchPaper)
+{
+    LlmConfig m = llama7B();
+    // L1: out-proj (K = hidden) then FFN1 (N = ffnHidden).
+    OpGraph l1 = buildSubLayer(m, SubLayerId::L1);
+    EXPECT_EQ(l1.node(0).inner, m.hidden);
+    EXPECT_EQ(l1.node(4).cols, m.ffnHidden);
+    // L2: FFN2 (K = ffn) then QKV projection (N = 3h).
+    OpGraph l2 = buildSubLayer(m, SubLayerId::L2);
+    EXPECT_EQ(l2.node(0).inner, m.ffnHidden);
+    EXPECT_EQ(l2.node(4).cols, 3 * m.hidden);
+}
+
+TEST(Transformer, FullLayerStructure)
+{
+    LlmConfig m = megaGpt4B();
+    OpGraph g = buildTransformerLayer(m, Pass::forward);
+    g.validate();
+
+    int gemms = 0, comms = 0, lns = 0, attn = 0;
+    for (const auto &n : g.ops()) {
+        if (n.kind == OpKind::gemmColParallel ||
+            n.kind == OpKind::gemmRowParallel)
+            ++gemms;
+        if (isCommOp(n.kind))
+            ++comms;
+        if (n.kind == OpKind::layerNorm)
+            ++lns;
+        if (n.kind == OpKind::attentionCore)
+            ++attn;
+    }
+    EXPECT_EQ(gemms, 4); // qkv, out-proj, fc1, fc2
+    EXPECT_EQ(comms, 4); // ag, rs per block
+    EXPECT_EQ(lns, 2);
+    EXPECT_EQ(attn, 1);
+}
+
+TEST(Transformer, BackwardLayerScalesGemms)
+{
+    LlmConfig m = megaGpt4B();
+    OpGraph f = buildTransformerLayer(m, Pass::forward);
+    OpGraph b = buildTransformerLayer(m, Pass::backward);
+    ASSERT_EQ(f.size(), b.size());
+    for (std::size_t i = 0; i < f.size(); ++i) {
+        const OpNode &fn = f.ops()[i];
+        const OpNode &bn = b.ops()[i];
+        if (fn.kind == OpKind::gemmColParallel ||
+            fn.kind == OpKind::gemmRowParallel) {
+            EXPECT_DOUBLE_EQ(bn.flopScale, 2.0 * fn.flopScale);
+        }
+    }
+}
+
+TEST(LlmConfig, TableOneValues)
+{
+    auto models = tableOneModels();
+    ASSERT_EQ(models.size(), 3u);
+    EXPECT_EQ(models[0].hidden, 2048);
+    EXPECT_EQ(models[0].ffnHidden, 8192);
+    EXPECT_EQ(models[0].batch, 16);
+    EXPECT_EQ(models[1].hidden, 3072);
+    EXPECT_EQ(models[2].name, "LLaMA-7B");
+    EXPECT_EQ(models[2].seqLen, 3072);
+    EXPECT_EQ(models[2].tokens(), 3 * 3072);
+}
+
+TEST(LlmConfig, ScaledKeeps128Alignment)
+{
+    LlmConfig s = llama7B().scaled(0.5, 0.25);
+    EXPECT_EQ(s.hidden % 128, 0);
+    EXPECT_EQ(s.ffnHidden % 128, 0);
+    EXPECT_EQ(s.seqLen % 128, 0);
+    EXPECT_EQ(s.hidden, 2048);
+    // Table II: full scale doubles the Table-I dims.
+    EXPECT_EQ(llamaFullScale().hidden, 2 * llama7B().hidden);
+}

@@ -1,0 +1,98 @@
+/** @file Tests for the deterministic RNG and parameter parsing. */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+
+using namespace cais;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = r.uniform();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Rng r(9);
+    bool lo = false, hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.uniformInt(3, 5);
+        ASSERT_GE(v, 3);
+        ASSERT_LE(v, 5);
+        lo |= v == 3;
+        hi |= v == 5;
+    }
+    EXPECT_TRUE(lo);
+    EXPECT_TRUE(hi);
+}
+
+TEST(Rng, NormalHasRequestedMoments)
+{
+    Rng r(11);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double v = r.normal(10.0, 2.0);
+        sum += v;
+        sq += v * v;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.1);
+    EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Params, ParsesTypedValues)
+{
+    Params p;
+    EXPECT_TRUE(p.parseToken("gpus=8"));
+    EXPECT_TRUE(p.parseToken("bw=450.5"));
+    EXPECT_TRUE(p.parseToken("name=llama"));
+    EXPECT_TRUE(p.parseToken("fast=true"));
+    EXPECT_FALSE(p.parseToken("notkv"));
+    EXPECT_FALSE(p.parseToken("=bad"));
+
+    EXPECT_EQ(p.getInt("gpus", 0), 8);
+    EXPECT_DOUBLE_EQ(p.getDouble("bw", 0.0), 450.5);
+    EXPECT_EQ(p.getString("name", ""), "llama");
+    EXPECT_TRUE(p.getBool("fast", false));
+    EXPECT_EQ(p.getInt("missing", 42), 42);
+}
+
+TEST(Params, LaterValuesOverrideAndKeysKeepOrder)
+{
+    Params p;
+    p.parseToken("a=1");
+    p.parseToken("b=2");
+    p.parseToken("a=3");
+    EXPECT_EQ(p.getInt("a", 0), 3);
+    ASSERT_EQ(p.keys().size(), 2u);
+    EXPECT_EQ(p.keys()[0], "a");
+    EXPECT_EQ(p.keys()[1], "b");
+}

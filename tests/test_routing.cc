@@ -1,0 +1,82 @@
+/** @file Tests for deterministic routing and round-robin arbitration. */
+
+#include <gtest/gtest.h>
+
+#include "noc/arbiter.hh"
+#include "noc/routing.hh"
+
+using namespace cais;
+
+TEST(Routing, DeterministicPerAddress)
+{
+    DeterministicRouting r(4, 4096);
+    for (Addr a = 0; a < 100 * 4096; a += 4096)
+        EXPECT_EQ(r.switchForAddr(a), r.switchForAddr(a));
+}
+
+TEST(Routing, SameChunkSameSwitch)
+{
+    // Addresses within one interleave unit converge on one switch —
+    // the property that lets mergeable requests meet (Sec. III-A.5).
+    DeterministicRouting r(4, 4096);
+    Addr base = makeAddr(3, 1 << 20);
+    SwitchId s = r.switchForAddr(base);
+    for (Addr off = 0; off < 4096; off += 128)
+        EXPECT_EQ(r.switchForAddr(base + off), s);
+}
+
+TEST(Routing, SpreadsAcrossSwitches)
+{
+    DeterministicRouting r(4, 4096);
+    std::vector<int> counts(4, 0);
+    for (int i = 0; i < 4000; ++i)
+        ++counts[static_cast<std::size_t>(
+            r.switchForAddr(static_cast<Addr>(i) * 4096))];
+    for (int c : counts) {
+        EXPECT_GT(c, 800);
+        EXPECT_LT(c, 1200);
+    }
+}
+
+TEST(Routing, GroupRoutingInRangeAndDeterministic)
+{
+    DeterministicRouting r(4, 4096);
+    for (GroupId g = 0; g < 1000; ++g) {
+        SwitchId s = r.switchForGroup(g);
+        EXPECT_GE(s, 0);
+        EXPECT_LT(s, 4);
+        EXPECT_EQ(r.switchForGroup(g), s);
+    }
+}
+
+TEST(Arbiter, RoundRobinFairness)
+{
+    RoundRobinArbiter arb(4);
+    auto all_ready = [](int) { return true; };
+    EXPECT_EQ(arb.pick(all_ready), 0);
+    EXPECT_EQ(arb.pick(all_ready), 1);
+    EXPECT_EQ(arb.pick(all_ready), 2);
+    EXPECT_EQ(arb.pick(all_ready), 3);
+    EXPECT_EQ(arb.pick(all_ready), 0);
+}
+
+TEST(Arbiter, SkipsNotReady)
+{
+    RoundRobinArbiter arb(4);
+    auto only2 = [](int i) { return i == 2; };
+    EXPECT_EQ(arb.pick(only2), 2);
+    EXPECT_EQ(arb.pick(only2), 2);
+    auto none = [](int) { return false; };
+    EXPECT_EQ(arb.pick(none), -1);
+}
+
+TEST(Arbiter, ResumesAfterLastGrant)
+{
+    RoundRobinArbiter arb(3);
+    auto all = [](int) { return true; };
+    EXPECT_EQ(arb.pick(all), 0);
+    auto only0 = [](int i) { return i == 0; };
+    EXPECT_EQ(arb.pick(only0), 0);
+    // After granting 0, input 1 has priority.
+    EXPECT_EQ(arb.pick(all), 1);
+}

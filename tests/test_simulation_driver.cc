@@ -1,0 +1,100 @@
+/** @file Tests for the experiment driver: config mapping and the
+ *  harvested metrics. */
+
+#include <gtest/gtest.h>
+
+#include "runtime/simulation_driver.hh"
+#include "workload/transformer.hh"
+
+using namespace cais;
+
+TEST(Driver, ConfigMapsIntoSystemConfig)
+{
+    RunConfig cfg;
+    cfg.numGpus = 4;
+    cfg.numSwitches = 2;
+    cfg.chunkBytes = 8192;
+    cfg.mergeTableEntriesPerPort = 100;
+    StrategySpec spec = strategyByName("CAIS");
+    SystemConfig sc = cfg.toSystemConfig(spec);
+
+    EXPECT_EQ(sc.fabric.numGpus, 4);
+    EXPECT_EQ(sc.fabric.numSwitches, 2);
+    EXPECT_EQ(sc.gpu.chunkBytes, 8192u);
+    EXPECT_EQ(sc.inswitch.merge.chunkBytes, 8192u);
+    // entries x chunk bytes.
+    EXPECT_EQ(sc.inswitch.merge.tableBytesPerPort, 100u * 8192u);
+    // Deterministic routing interleave matches the chunk.
+    EXPECT_EQ(sc.fabric.interleaveBytes, 8192u);
+    // Throttling is a coordination feature.
+    EXPECT_TRUE(sc.inswitch.merge.throttleEnabled);
+    EXPECT_FALSE(cfg.toSystemConfig(strategyByName("CAIS-Base"))
+                     .inswitch.merge.throttleEnabled);
+}
+
+TEST(Driver, ExplicitTableBytesOverrideEntries)
+{
+    RunConfig cfg;
+    cfg.mergeTableBytesPerPort = 12345 * 4096ull;
+    SystemConfig sc = cfg.toSystemConfig(strategyByName("CAIS"));
+    EXPECT_EQ(sc.inswitch.merge.tableBytesPerPort, 12345u * 4096u);
+
+    RunConfig unbounded;
+    unbounded.unboundedMergeTable = true;
+    EXPECT_EQ(unbounded.toSystemConfig(strategyByName("CAIS"))
+                  .inswitch.merge.tableBytesPerPort,
+              0u);
+}
+
+TEST(Driver, UnifiedVcFlagReachesTheSwitch)
+{
+    RunConfig cfg;
+    EXPECT_TRUE(cfg.toSystemConfig(strategyByName("CAIS-Partial"))
+                    .fabric.sw.unifiedDataVc);
+    EXPECT_FALSE(cfg.toSystemConfig(strategyByName("CAIS"))
+                     .fabric.sw.unifiedDataVc);
+}
+
+TEST(Driver, ResultCarriesKernelTimeline)
+{
+    RunConfig cfg;
+    cfg.numGpus = 4;
+    cfg.numSwitches = 2;
+    LlmConfig m = megaGpt4B().scaled(0.25, 0.25);
+    m.batch = 1;
+    OpGraph g = buildSubLayer(m, SubLayerId::L1);
+    RunResult r = runGraph(strategyByName("SP-NVLS"), g, cfg, "L1");
+
+    ASSERT_EQ(r.kernels.size(), 5u);
+    int comm = 0;
+    for (const KernelTiming &k : r.kernels) {
+        EXPECT_LE(k.start, k.finish);
+        EXPECT_LE(k.finish, r.makespan);
+        comm += k.comm;
+    }
+    EXPECT_EQ(comm, 2);
+    EXPECT_GT(r.commKernelCycles, 0u);
+    EXPECT_GT(r.computeKernelCycles, 0u);
+    EXPECT_EQ(r.strategy, "SP-NVLS");
+    EXPECT_EQ(r.workload, "L1");
+    EXPECT_EQ(r.utilBinWidth, cfg.utilBinWidth);
+    EXPECT_NEAR(r.makespanUs() * 1000.0,
+                static_cast<double>(r.makespan), 1.0);
+}
+
+TEST(Driver, BarrierBaselineCommComputeDontOverlap)
+{
+    // For the serialized baseline, comm + compute kernel time covers
+    // nearly the whole makespan (phases are disjoint).
+    RunConfig cfg;
+    cfg.numGpus = 4;
+    cfg.numSwitches = 2;
+    LlmConfig m = megaGpt4B().scaled(0.25, 0.25);
+    m.batch = 1;
+    OpGraph g = buildSubLayer(m, SubLayerId::L1);
+    RunResult r = runGraph(strategyByName("SP-NVLS"), g, cfg, "L1");
+    Cycle covered = r.commKernelCycles + r.computeKernelCycles;
+    EXPECT_GT(static_cast<double>(covered),
+              0.85 * static_cast<double>(r.makespan));
+    EXPECT_LE(covered, r.makespan + 10);
+}

@@ -1,0 +1,200 @@
+/** @file Tests for strategy presets and graph lowering. */
+
+#include <gtest/gtest.h>
+
+#include "runtime/execution_strategy.hh"
+#include "workload/transformer.hh"
+
+using namespace cais;
+
+namespace
+{
+
+SystemConfig
+tinyConfig()
+{
+    SystemConfig c;
+    c.fabric.numGpus = 4;
+    c.fabric.numSwitches = 2;
+    c.gpu.numSms = 8;
+    c.gpu.jitterSigma = 0.0;
+    c.gpu.maxStartSkew = 0;
+    return c;
+}
+
+LlmConfig
+tinyModel()
+{
+    LlmConfig m = megaGpt4B().scaled(0.25, 0.5);
+    m.batch = 1;
+    return m;
+}
+
+} // namespace
+
+TEST(Strategies, RegistryContainsPaperBaselines)
+{
+    auto all = allStrategies();
+    ASSERT_EQ(all.size(), 11u);
+    EXPECT_EQ(all[0].name, "TP-NVLS");
+    EXPECT_EQ(all[1].name, "SP-NVLS");
+    EXPECT_EQ(all[8].name, "LADM");
+    EXPECT_EQ(all[9].name, "CAIS-Base");
+    EXPECT_EQ(all[10].name, "CAIS");
+}
+
+TEST(Strategies, LookupByNameIncludesAblations)
+{
+    EXPECT_EQ(strategyByName("CAIS-Partial").unifiedDataVc, true);
+    EXPECT_FALSE(strategyByName("CAIS-w/o-Coord").opts.caisCoordination);
+    EXPECT_TRUE(strategyByName("CAIS-w/o-Coord").opts.graphOptimizer);
+    EXPECT_DEATH(strategyByName("NoSuch"), "unknown strategy");
+}
+
+TEST(Strategies, PresetFlagsMatchDescriptions)
+{
+    EXPECT_TRUE(makeTpNvls().opts.reassociateToAllReduce);
+    EXPECT_FALSE(makeSpNvls().opts.reassociateToAllReduce);
+    EXPECT_EQ(makeT3(true).opts.collectives, CollectiveImpl::t3);
+    EXPECT_TRUE(makeT3(true).opts.t3NvlsReduction);
+    EXPECT_FALSE(makeT3(false).opts.t3NvlsAllGather);
+    EXPECT_GT(makeCoconet(false).opts.perCommTbOverhead, 0u);
+    EXPECT_EQ(makeFuselib(false).opts.perCommTbOverhead, 0u);
+    EXPECT_TRUE(makeCais().opts.caisCoordination);
+    EXPECT_FALSE(makeCaisBase().opts.graphOptimizer);
+}
+
+TEST(Lowering, CaisFoldsCollectivesIntoComputeKernels)
+{
+    System sys(tinyConfig());
+    OpGraph g = buildSubLayer(tinyModel(), SubLayerId::L1);
+    GraphLowering low(sys, g, makeCais().opts);
+    low.lower();
+
+    // CAIS: gemm-rs, ln, stage, ag-gemm -> 4 kernels, no standalone
+    // collective kernels with multimem ops.
+    EXPECT_EQ(sys.numKernels(), 4u);
+    // The RS op's kernel is the producing GEMM (folded).
+    EXPECT_EQ(low.opKernel(1), low.opKernel(0));
+    // AG materializes as the stage kernel feeding the consumer.
+    EXPECT_NE(low.opTensor(3), nullptr);
+
+    // GEMM-RS TBs push red.cais; no kernel-level barriers anywhere.
+    for (std::size_t k = 0; k < sys.numKernels(); ++k)
+        EXPECT_TRUE(sys.kernel(static_cast<KernelId>(k))
+                        .kernelDeps.empty());
+}
+
+TEST(Lowering, CaisCoordinationAddsGroupsAndSync)
+{
+    System sys(tinyConfig());
+    OpGraph g = buildSubLayer(tinyModel(), SubLayerId::L1);
+    GraphLowering low(sys, g, makeCais().opts);
+    low.lower();
+
+    const KernelDesc &gemm_rs = sys.kernel(low.opKernel(0));
+    EXPECT_TRUE(gemm_rs.preLaunchSync);
+    EXPECT_TRUE(gemm_rs.preAccessSync);
+    bool any_group = false;
+    for (const auto &tb : gemm_rs.grids[0])
+        any_group |= tb.group != invalidId;
+    EXPECT_TRUE(any_group);
+
+    // CAIS-Base: no groups, no sync, but barriers between operators.
+    System sys2(tinyConfig());
+    GraphLowering low2(sys2, g, makeCaisBase().opts);
+    low2.lower();
+    const KernelDesc &base_rs = sys2.kernel(low2.opKernel(0));
+    EXPECT_FALSE(base_rs.preLaunchSync);
+    for (const auto &tb : base_rs.grids[0])
+        EXPECT_EQ(tb.group, invalidId);
+    const KernelDesc &base_ln = sys2.kernel(low2.opKernel(2));
+    EXPECT_FALSE(base_ln.kernelDeps.empty());
+}
+
+TEST(Lowering, NvlsStrategyEmitsCollectiveKernels)
+{
+    System sys(tinyConfig());
+    OpGraph g = buildSubLayer(tinyModel(), SubLayerId::L1);
+    GraphLowering low(sys, g, makeSpNvls().opts);
+    low.lower();
+
+    // gemm, nvls-rs, ln, nvls-ag, gemm -> 5 kernels with barriers.
+    EXPECT_EQ(sys.numKernels(), 5u);
+    int comm = 0;
+    for (std::size_t k = 0; k < sys.numKernels(); ++k)
+        comm += sys.kernel(static_cast<KernelId>(k)).commKernel;
+    EXPECT_EQ(comm, 2);
+}
+
+TEST(Lowering, ReassociationCollapsesRsAgIntoAllReduce)
+{
+    System sys(tinyConfig());
+    OpGraph g = buildSubLayer(tinyModel(), SubLayerId::L1);
+    GraphLowering low(sys, g, makeTpNvls().opts);
+    low.lower();
+
+    // gemm, nvls-ar, ln, gemm (AG is a no-op on replicated data).
+    EXPECT_EQ(sys.numKernels(), 4u);
+    EXPECT_EQ(low.opKernel(3), low.opKernel(2));
+    EXPECT_EQ(low.opTensor(3), low.opTensor(2));
+}
+
+TEST(Lowering, T3FusesReductionIntoGemm)
+{
+    System sys(tinyConfig());
+    OpGraph g = buildSubLayer(tinyModel(), SubLayerId::L1);
+    GraphLowering low(sys, g, makeT3(false).opts);
+    low.lower();
+
+    const KernelDesc &gemm = sys.kernel(low.opKernel(0));
+    bool has_dma_push = false;
+    for (const auto &tb : gemm.grids[1])
+        for (const auto &op : tb.pushOps)
+            has_dma_push |= op.kind == RemoteOpKind::plainWrite;
+    EXPECT_TRUE(has_dma_push);
+    // T3-NVLS routes the DMA through the switch reducer instead.
+    System sys2(tinyConfig());
+    GraphLowering low2(sys2, g, makeT3(true).opts);
+    low2.lower();
+    bool has_red = false;
+    for (const auto &tb : sys2.kernel(low2.opKernel(0)).grids[1])
+        for (const auto &op : tb.pushOps)
+            has_red |= op.kind == RemoteOpKind::caisRed;
+    EXPECT_TRUE(has_red);
+}
+
+TEST(Lowering, LadmPullsEveryPeerPartial)
+{
+    System sys(tinyConfig());
+    OpGraph g = buildSubLayer(tinyModel(), SubLayerId::L1);
+    GraphLowering low(sys, g, makeLadm().opts);
+    low.lower();
+
+    // Find the LADM AR kernel and check each TB pulls G-1 partials.
+    bool found = false;
+    for (std::size_t k = 0; k < sys.numKernels(); ++k) {
+        const KernelDesc &kd = sys.kernel(static_cast<KernelId>(k));
+        if (kd.name.find("ladm") == std::string::npos)
+            continue;
+        found = true;
+        for (const auto &tb : kd.grids[0])
+            EXPECT_EQ(tb.pullOps.size(), 3u);
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Lowering, AsymmetricOverlapAssignsSmHalves)
+{
+    System sys(tinyConfig());
+    OpGraph g = buildSubLayer(tinyModel(), SubLayerId::L1);
+    GraphLowering low(sys, g, makeCais().opts);
+    low.lower();
+
+    const KernelDesc &rs = sys.kernel(low.opKernel(0));
+    const KernelDesc &ag = sys.kernel(low.opKernel(4));
+    EXPECT_DOUBLE_EQ(rs.smFrom, 0.0);
+    EXPECT_DOUBLE_EQ(rs.smTo, 0.5);
+    EXPECT_DOUBLE_EQ(ag.smFrom, 0.5);
+    EXPECT_DOUBLE_EQ(ag.smTo, 1.0);
+}

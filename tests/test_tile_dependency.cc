@@ -1,0 +1,128 @@
+/** @file Tests for tile trackers and the address map. */
+
+#include <gtest/gtest.h>
+
+#include "dataflow/tile_dependency.hh"
+
+using namespace cais;
+
+TEST(TileTracker, ReadyAtNeedThreshold)
+{
+    TileTracker t("x", 2, 4, 1000);
+    EXPECT_FALSE(t.ready(0, 0));
+    t.contribute(0, 0, 999);
+    EXPECT_FALSE(t.ready(0, 0));
+    t.contribute(0, 0, 1);
+    EXPECT_TRUE(t.ready(0, 0));
+    EXPECT_FALSE(t.ready(1, 0)); // per-GPU readiness
+}
+
+TEST(TileTracker, WaitersFireOnceOnReadiness)
+{
+    TileTracker t("x", 1, 2, 100);
+    int fired = 0;
+    t.waitFor(0, 1, [&] { ++fired; });
+    t.contribute(0, 1, 50);
+    EXPECT_EQ(fired, 0);
+    t.contribute(0, 1, 50);
+    EXPECT_EQ(fired, 1);
+    t.contribute(0, 1, 100); // over-contribution: no re-fire
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(TileTracker, ImmediateCallbackWhenAlreadyReady)
+{
+    TileTracker t("x", 1, 1, 10);
+    t.contribute(0, 0, 10);
+    int fired = 0;
+    t.waitFor(0, 0, [&] { ++fired; });
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(TileTracker, CompletenessOverRelevantPairs)
+{
+    TileTracker t("rs", 4, 4, 100);
+    // Shard-style relevance: tile t matters only at GPU t.
+    t.setRelevance([](GpuId g, int tile) { return g == tile; });
+    int complete = 0;
+    t.waitComplete([&] { ++complete; });
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(complete, 0);
+        t.contribute(i, i, 100);
+    }
+    EXPECT_EQ(complete, 1);
+    EXPECT_TRUE(t.complete());
+    EXPECT_DOUBLE_EQ(t.progress(), 1.0);
+}
+
+TEST(TileTracker, IrrelevantContributionsDontComplete)
+{
+    TileTracker t("rs", 2, 2, 100);
+    t.setRelevance([](GpuId g, int tile) { return g == tile; });
+    t.contribute(0, 1, 100); // irrelevant pair
+    t.contribute(1, 0, 100); // irrelevant pair
+    EXPECT_FALSE(t.complete());
+    EXPECT_DOUBLE_EQ(t.progress(), 0.0);
+}
+
+TEST(TileTracker, ReductionSemanticsViaNeedFactor)
+{
+    // A reduction output needs G contributions of tile bytes.
+    const std::uint64_t tile_bytes = 4096;
+    TileTracker t("red", 1, 1, tile_bytes * 4);
+    for (int c = 0; c < 3; ++c)
+        t.contribute(0, 0, tile_bytes);
+    EXPECT_FALSE(t.ready(0, 0));
+    t.contribute(0, 0, tile_bytes);
+    EXPECT_TRUE(t.ready(0, 0));
+}
+
+TEST(AddressMap, DispatchesToCoveringRange)
+{
+    TileTracker t("x", 2, 4, 4096);
+    AddressMap m;
+    m.addRange(0x10000, 4 * 4096, &t, 0, 4096);
+
+    EXPECT_TRUE(m.dispatch(0, 0x10000, 4096, 0));
+    EXPECT_TRUE(t.ready(0, 0));
+    EXPECT_TRUE(m.dispatch(1, 0x10000 + 3 * 4096, 4096, 0));
+    EXPECT_TRUE(t.ready(1, 3));
+    EXPECT_FALSE(m.dispatch(0, 0x90000, 64, 0));
+    EXPECT_EQ(m.unmatchedArrivals(), 1u);
+}
+
+TEST(AddressMap, ContribMultiplierScalesBytes)
+{
+    TileTracker t("red", 1, 1, 4 * 4096);
+    AddressMap m;
+    m.addRange(0x1000, 4096, &t, 0, 4096);
+    // A merged write representing 4 contributions readies the tile.
+    EXPECT_TRUE(m.dispatch(0, 0x1000, 4096, 4));
+    EXPECT_TRUE(t.ready(0, 0));
+}
+
+TEST(AddressMap, PayloadSpanningTilesSplitsBytes)
+{
+    TileTracker t("x", 1, 2, 2048);
+    AddressMap m;
+    m.addRange(0, 2 * 2048, &t, 0, 2048);
+    // 4096 bytes starting at offset 1024: 1024 into tile 0, 2048 into
+    // tile 1 (clamped at range end).
+    m.dispatch(0, 1024, 4096, 0);
+    EXPECT_FALSE(t.ready(0, 0));
+    EXPECT_TRUE(t.ready(0, 1));
+    m.dispatch(0, 0, 1024, 0);
+    EXPECT_TRUE(t.ready(0, 0));
+}
+
+TEST(AddressMap, MultipleRangesBinarySearch)
+{
+    TileTracker a("a", 1, 1, 64), b("b", 1, 1, 64);
+    AddressMap m;
+    m.addRange(0x2000, 64, &b, 0, 64);
+    m.addRange(0x1000, 64, &a, 0, 64);
+    EXPECT_TRUE(m.dispatch(0, 0x1000, 64, 0));
+    EXPECT_TRUE(m.dispatch(0, 0x2000, 64, 0));
+    EXPECT_TRUE(a.ready(0, 0));
+    EXPECT_TRUE(b.ready(0, 0));
+}

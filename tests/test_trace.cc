@@ -1,0 +1,101 @@
+/** @file Tests for the Chrome-trace exporter and its driver wiring. */
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "analysis/trace.hh"
+#include "runtime/simulation_driver.hh"
+#include "workload/transformer.hh"
+
+using namespace cais;
+
+TEST(Trace, SpansRenderWithMicrosecondTimestamps)
+{
+    TraceCollector tc;
+    tc.addSpan("gemm", "compute", 0, 2, 1000, 5000);
+    std::string json = tc.toJson();
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"gemm\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":1"), std::string::npos);   // 1 us
+    EXPECT_NE(json.find("\"dur\":4"), std::string::npos);  // 4 us
+    EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+}
+
+TEST(Trace, CountersAndMetadata)
+{
+    TraceCollector tc;
+    tc.nameProcess(1, "fabric");
+    tc.nameLane(0, 3, "GPU 3");
+    tc.addCounter("util", 1, 2000, 87.5);
+    tc.addInstant("evict", "merge", 1, 0, 500);
+    std::string json = tc.toJson();
+    EXPECT_NE(json.find("process_name"), std::string::npos);
+    EXPECT_NE(json.find("GPU 3"), std::string::npos);
+    EXPECT_NE(json.find("\"value\":87.5"), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_EQ(tc.numEvents(), 4u);
+}
+
+TEST(Trace, EscapesQuotesAndBackslashes)
+{
+    TraceCollector tc;
+    tc.addSpan("a\"b\\c", "x", 0, 0, 0, 1);
+    std::string json = tc.toJson();
+    EXPECT_NE(json.find("a\\\"b\\\\c"), std::string::npos);
+}
+
+TEST(Trace, DriverWritesLoadableFile)
+{
+    RunConfig cfg;
+    cfg.numGpus = 4;
+    cfg.numSwitches = 2;
+    cfg.tracePath = "/tmp/cais_test_trace.json";
+    std::remove(cfg.tracePath.c_str());
+
+    LlmConfig m = megaGpt4B().scaled(0.25, 0.25);
+    m.batch = 1;
+    OpGraph g = buildSubLayer(m, SubLayerId::L1);
+    runGraph(strategyByName("CAIS"), g, cfg, "L1");
+
+    std::ifstream in(cfg.tracePath);
+    ASSERT_TRUE(in.good());
+    std::string json((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    // Kernel spans for the fused CAIS pipeline and the util counter.
+    EXPECT_NE(json.find("gemm-rs"), std::string::npos);
+    EXPECT_NE(json.find("stage"), std::string::npos);
+    EXPECT_NE(json.find("link util %"), std::string::npos);
+    EXPECT_NE(json.find("traceEvents"), std::string::npos);
+    std::remove(cfg.tracePath.c_str());
+}
+
+TEST(Trace, KernelGpuSpansAreWithinKernelLifetime)
+{
+    RunConfig cfg;
+    cfg.numGpus = 4;
+    cfg.numSwitches = 2;
+    LlmConfig m = megaGpt4B().scaled(0.25, 0.25);
+    m.batch = 1;
+    OpGraph g = buildSubLayer(m, SubLayerId::L1);
+
+    System sys(cfg.toSystemConfig(strategyByName("SP-NVLS")));
+    GraphLowering low(sys, g, strategyByName("SP-NVLS").opts);
+    low.lower();
+    sys.run();
+
+    for (std::size_t k = 0; k < sys.numKernels(); ++k) {
+        for (GpuId gpu = 0; gpu < sys.numGpus(); ++gpu) {
+            auto [s0, s1] =
+                sys.kernelGpuSpan(static_cast<KernelId>(k), gpu);
+            if (s1 == 0)
+                continue;
+            EXPECT_LE(s0, s1);
+            EXPECT_GE(s0,
+                      sys.kernelStartTime(static_cast<KernelId>(k)));
+            EXPECT_LE(
+                s1, sys.kernelFinishTime(static_cast<KernelId>(k)));
+        }
+    }
+}
