@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_chunk_granularity.dir/abl_chunk_granularity.cc.o"
+  "CMakeFiles/abl_chunk_granularity.dir/abl_chunk_granularity.cc.o.d"
+  "abl_chunk_granularity"
+  "abl_chunk_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_chunk_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

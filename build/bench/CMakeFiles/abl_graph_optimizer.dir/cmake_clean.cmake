@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_graph_optimizer.dir/abl_graph_optimizer.cc.o"
+  "CMakeFiles/abl_graph_optimizer.dir/abl_graph_optimizer.cc.o.d"
+  "abl_graph_optimizer"
+  "abl_graph_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_graph_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

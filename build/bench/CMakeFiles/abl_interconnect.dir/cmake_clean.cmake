@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_interconnect.dir/abl_interconnect.cc.o"
+  "CMakeFiles/abl_interconnect.dir/abl_interconnect.cc.o.d"
+  "abl_interconnect"
+  "abl_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

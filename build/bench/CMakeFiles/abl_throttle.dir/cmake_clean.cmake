@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_throttle.dir/abl_throttle.cc.o"
+  "CMakeFiles/abl_throttle.dir/abl_throttle.cc.o.d"
+  "abl_throttle"
+  "abl_throttle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_throttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_sublayer.dir/fig12_sublayer.cc.o"
+  "CMakeFiles/fig12_sublayer.dir/fig12_sublayer.cc.o.d"
+  "fig12_sublayer"
+  "fig12_sublayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_sublayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

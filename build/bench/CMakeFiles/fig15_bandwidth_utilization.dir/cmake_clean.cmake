@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_bandwidth_utilization.dir/fig15_bandwidth_utilization.cc.o"
+  "CMakeFiles/fig15_bandwidth_utilization.dir/fig15_bandwidth_utilization.cc.o.d"
+  "fig15_bandwidth_utilization"
+  "fig15_bandwidth_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_bandwidth_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_nvls_validation.dir/fig18_nvls_validation.cc.o"
+  "CMakeFiles/fig18_nvls_validation.dir/fig18_nvls_validation.cc.o.d"
+  "fig18_nvls_validation"
+  "fig18_nvls_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_nvls_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

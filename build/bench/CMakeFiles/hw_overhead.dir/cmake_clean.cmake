@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_overhead.dir/hw_overhead.cc.o"
+  "CMakeFiles/hw_overhead.dir/hw_overhead.cc.o.d"
+  "hw_overhead"
+  "hw_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sim_components.dir/micro_sim_components.cc.o"
+  "CMakeFiles/micro_sim_components.dir/micro_sim_components.cc.o.d"
+  "micro_sim_components"
+  "micro_sim_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sim_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

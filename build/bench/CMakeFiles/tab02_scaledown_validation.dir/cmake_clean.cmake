@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_scaledown_validation.dir/tab02_scaledown_validation.cc.o"
+  "CMakeFiles/tab02_scaledown_validation.dir/tab02_scaledown_validation.cc.o.d"
+  "tab02_scaledown_validation"
+  "tab02_scaledown_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_scaledown_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

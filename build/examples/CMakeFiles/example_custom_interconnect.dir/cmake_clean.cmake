@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_interconnect.dir/custom_interconnect.cpp.o"
+  "CMakeFiles/example_custom_interconnect.dir/custom_interconnect.cpp.o.d"
+  "example_custom_interconnect"
+  "example_custom_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

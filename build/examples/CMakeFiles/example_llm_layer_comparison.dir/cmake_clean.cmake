@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_llm_layer_comparison.dir/llm_layer_comparison.cpp.o"
+  "CMakeFiles/example_llm_layer_comparison.dir/llm_layer_comparison.cpp.o.d"
+  "example_llm_layer_comparison"
+  "example_llm_layer_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_llm_layer_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_merge_unit_anatomy.dir/merge_unit_anatomy.cpp.o"
+  "CMakeFiles/example_merge_unit_anatomy.dir/merge_unit_anatomy.cpp.o.d"
+  "example_merge_unit_anatomy"
+  "example_merge_unit_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_merge_unit_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

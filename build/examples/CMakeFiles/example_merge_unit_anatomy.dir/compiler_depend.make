@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_merge_unit_anatomy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/area_model.cc" "src/CMakeFiles/cais.dir/analysis/area_model.cc.o" "gcc" "src/CMakeFiles/cais.dir/analysis/area_model.cc.o.d"
+  "/root/repo/src/analysis/bandwidth_probe.cc" "src/CMakeFiles/cais.dir/analysis/bandwidth_probe.cc.o" "gcc" "src/CMakeFiles/cais.dir/analysis/bandwidth_probe.cc.o.d"
+  "/root/repo/src/analysis/trace.cc" "src/CMakeFiles/cais.dir/analysis/trace.cc.o" "gcc" "src/CMakeFiles/cais.dir/analysis/trace.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/cais.dir/common/config.cc.o" "gcc" "src/CMakeFiles/cais.dir/common/config.cc.o.d"
+  "/root/repo/src/common/event_queue.cc" "src/CMakeFiles/cais.dir/common/event_queue.cc.o" "gcc" "src/CMakeFiles/cais.dir/common/event_queue.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/cais.dir/common/log.cc.o" "gcc" "src/CMakeFiles/cais.dir/common/log.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/cais.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/cais.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/cais.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/cais.dir/common/stats.cc.o.d"
+  "/root/repo/src/compiler/cais_lowering.cc" "src/CMakeFiles/cais.dir/compiler/cais_lowering.cc.o" "gcc" "src/CMakeFiles/cais.dir/compiler/cais_lowering.cc.o.d"
+  "/root/repo/src/compiler/index_analysis.cc" "src/CMakeFiles/cais.dir/compiler/index_analysis.cc.o" "gcc" "src/CMakeFiles/cais.dir/compiler/index_analysis.cc.o.d"
+  "/root/repo/src/compiler/kernel_ir.cc" "src/CMakeFiles/cais.dir/compiler/kernel_ir.cc.o" "gcc" "src/CMakeFiles/cais.dir/compiler/kernel_ir.cc.o.d"
+  "/root/repo/src/compiler/tb_grouping.cc" "src/CMakeFiles/cais.dir/compiler/tb_grouping.cc.o" "gcc" "src/CMakeFiles/cais.dir/compiler/tb_grouping.cc.o.d"
+  "/root/repo/src/dataflow/fusion_planner.cc" "src/CMakeFiles/cais.dir/dataflow/fusion_planner.cc.o" "gcc" "src/CMakeFiles/cais.dir/dataflow/fusion_planner.cc.o.d"
+  "/root/repo/src/dataflow/op_graph.cc" "src/CMakeFiles/cais.dir/dataflow/op_graph.cc.o" "gcc" "src/CMakeFiles/cais.dir/dataflow/op_graph.cc.o.d"
+  "/root/repo/src/dataflow/tile_dependency.cc" "src/CMakeFiles/cais.dir/dataflow/tile_dependency.cc.o" "gcc" "src/CMakeFiles/cais.dir/dataflow/tile_dependency.cc.o.d"
+  "/root/repo/src/dataflow/traffic_control.cc" "src/CMakeFiles/cais.dir/dataflow/traffic_control.cc.o" "gcc" "src/CMakeFiles/cais.dir/dataflow/traffic_control.cc.o.d"
+  "/root/repo/src/gpu/gpu_config.cc" "src/CMakeFiles/cais.dir/gpu/gpu_config.cc.o" "gcc" "src/CMakeFiles/cais.dir/gpu/gpu_config.cc.o.d"
+  "/root/repo/src/gpu/gpu_core.cc" "src/CMakeFiles/cais.dir/gpu/gpu_core.cc.o" "gcc" "src/CMakeFiles/cais.dir/gpu/gpu_core.cc.o.d"
+  "/root/repo/src/gpu/hbm.cc" "src/CMakeFiles/cais.dir/gpu/hbm.cc.o" "gcc" "src/CMakeFiles/cais.dir/gpu/hbm.cc.o.d"
+  "/root/repo/src/gpu/hub.cc" "src/CMakeFiles/cais.dir/gpu/hub.cc.o" "gcc" "src/CMakeFiles/cais.dir/gpu/hub.cc.o.d"
+  "/root/repo/src/gpu/kernel.cc" "src/CMakeFiles/cais.dir/gpu/kernel.cc.o" "gcc" "src/CMakeFiles/cais.dir/gpu/kernel.cc.o.d"
+  "/root/repo/src/gpu/sm.cc" "src/CMakeFiles/cais.dir/gpu/sm.cc.o" "gcc" "src/CMakeFiles/cais.dir/gpu/sm.cc.o.d"
+  "/root/repo/src/gpu/synchronizer.cc" "src/CMakeFiles/cais.dir/gpu/synchronizer.cc.o" "gcc" "src/CMakeFiles/cais.dir/gpu/synchronizer.cc.o.d"
+  "/root/repo/src/gpu/tb_scheduler.cc" "src/CMakeFiles/cais.dir/gpu/tb_scheduler.cc.o" "gcc" "src/CMakeFiles/cais.dir/gpu/tb_scheduler.cc.o.d"
+  "/root/repo/src/gpu/thread_block.cc" "src/CMakeFiles/cais.dir/gpu/thread_block.cc.o" "gcc" "src/CMakeFiles/cais.dir/gpu/thread_block.cc.o.d"
+  "/root/repo/src/isa/address_expr.cc" "src/CMakeFiles/cais.dir/isa/address_expr.cc.o" "gcc" "src/CMakeFiles/cais.dir/isa/address_expr.cc.o.d"
+  "/root/repo/src/isa/instr.cc" "src/CMakeFiles/cais.dir/isa/instr.cc.o" "gcc" "src/CMakeFiles/cais.dir/isa/instr.cc.o.d"
+  "/root/repo/src/noc/arbiter.cc" "src/CMakeFiles/cais.dir/noc/arbiter.cc.o" "gcc" "src/CMakeFiles/cais.dir/noc/arbiter.cc.o.d"
+  "/root/repo/src/noc/credit_link.cc" "src/CMakeFiles/cais.dir/noc/credit_link.cc.o" "gcc" "src/CMakeFiles/cais.dir/noc/credit_link.cc.o.d"
+  "/root/repo/src/noc/network.cc" "src/CMakeFiles/cais.dir/noc/network.cc.o" "gcc" "src/CMakeFiles/cais.dir/noc/network.cc.o.d"
+  "/root/repo/src/noc/packet.cc" "src/CMakeFiles/cais.dir/noc/packet.cc.o" "gcc" "src/CMakeFiles/cais.dir/noc/packet.cc.o.d"
+  "/root/repo/src/noc/routing.cc" "src/CMakeFiles/cais.dir/noc/routing.cc.o" "gcc" "src/CMakeFiles/cais.dir/noc/routing.cc.o.d"
+  "/root/repo/src/noc/switch_chip.cc" "src/CMakeFiles/cais.dir/noc/switch_chip.cc.o" "gcc" "src/CMakeFiles/cais.dir/noc/switch_chip.cc.o.d"
+  "/root/repo/src/noc/switch_port.cc" "src/CMakeFiles/cais.dir/noc/switch_port.cc.o" "gcc" "src/CMakeFiles/cais.dir/noc/switch_port.cc.o.d"
+  "/root/repo/src/noc/topology.cc" "src/CMakeFiles/cais.dir/noc/topology.cc.o" "gcc" "src/CMakeFiles/cais.dir/noc/topology.cc.o.d"
+  "/root/repo/src/noc/virtual_channel.cc" "src/CMakeFiles/cais.dir/noc/virtual_channel.cc.o" "gcc" "src/CMakeFiles/cais.dir/noc/virtual_channel.cc.o.d"
+  "/root/repo/src/runtime/execution_strategy.cc" "src/CMakeFiles/cais.dir/runtime/execution_strategy.cc.o" "gcc" "src/CMakeFiles/cais.dir/runtime/execution_strategy.cc.o.d"
+  "/root/repo/src/runtime/simulation_driver.cc" "src/CMakeFiles/cais.dir/runtime/simulation_driver.cc.o" "gcc" "src/CMakeFiles/cais.dir/runtime/simulation_driver.cc.o.d"
+  "/root/repo/src/runtime/strategy_cais.cc" "src/CMakeFiles/cais.dir/runtime/strategy_cais.cc.o" "gcc" "src/CMakeFiles/cais.dir/runtime/strategy_cais.cc.o.d"
+  "/root/repo/src/runtime/strategy_coconet.cc" "src/CMakeFiles/cais.dir/runtime/strategy_coconet.cc.o" "gcc" "src/CMakeFiles/cais.dir/runtime/strategy_coconet.cc.o.d"
+  "/root/repo/src/runtime/strategy_fuselib.cc" "src/CMakeFiles/cais.dir/runtime/strategy_fuselib.cc.o" "gcc" "src/CMakeFiles/cais.dir/runtime/strategy_fuselib.cc.o.d"
+  "/root/repo/src/runtime/strategy_ladm.cc" "src/CMakeFiles/cais.dir/runtime/strategy_ladm.cc.o" "gcc" "src/CMakeFiles/cais.dir/runtime/strategy_ladm.cc.o.d"
+  "/root/repo/src/runtime/strategy_nvls_tp.cc" "src/CMakeFiles/cais.dir/runtime/strategy_nvls_tp.cc.o" "gcc" "src/CMakeFiles/cais.dir/runtime/strategy_nvls_tp.cc.o.d"
+  "/root/repo/src/runtime/strategy_t3.cc" "src/CMakeFiles/cais.dir/runtime/strategy_t3.cc.o" "gcc" "src/CMakeFiles/cais.dir/runtime/strategy_t3.cc.o.d"
+  "/root/repo/src/runtime/system.cc" "src/CMakeFiles/cais.dir/runtime/system.cc.o" "gcc" "src/CMakeFiles/cais.dir/runtime/system.cc.o.d"
+  "/root/repo/src/switchcompute/cam_table.cc" "src/CMakeFiles/cais.dir/switchcompute/cam_table.cc.o" "gcc" "src/CMakeFiles/cais.dir/switchcompute/cam_table.cc.o.d"
+  "/root/repo/src/switchcompute/eviction.cc" "src/CMakeFiles/cais.dir/switchcompute/eviction.cc.o" "gcc" "src/CMakeFiles/cais.dir/switchcompute/eviction.cc.o.d"
+  "/root/repo/src/switchcompute/group_sync_table.cc" "src/CMakeFiles/cais.dir/switchcompute/group_sync_table.cc.o" "gcc" "src/CMakeFiles/cais.dir/switchcompute/group_sync_table.cc.o.d"
+  "/root/repo/src/switchcompute/merge_unit.cc" "src/CMakeFiles/cais.dir/switchcompute/merge_unit.cc.o" "gcc" "src/CMakeFiles/cais.dir/switchcompute/merge_unit.cc.o.d"
+  "/root/repo/src/switchcompute/merging_table.cc" "src/CMakeFiles/cais.dir/switchcompute/merging_table.cc.o" "gcc" "src/CMakeFiles/cais.dir/switchcompute/merging_table.cc.o.d"
+  "/root/repo/src/switchcompute/nvls_unit.cc" "src/CMakeFiles/cais.dir/switchcompute/nvls_unit.cc.o" "gcc" "src/CMakeFiles/cais.dir/switchcompute/nvls_unit.cc.o.d"
+  "/root/repo/src/switchcompute/switch_compute.cc" "src/CMakeFiles/cais.dir/switchcompute/switch_compute.cc.o" "gcc" "src/CMakeFiles/cais.dir/switchcompute/switch_compute.cc.o.d"
+  "/root/repo/src/switchcompute/throttle.cc" "src/CMakeFiles/cais.dir/switchcompute/throttle.cc.o" "gcc" "src/CMakeFiles/cais.dir/switchcompute/throttle.cc.o.d"
+  "/root/repo/src/workload/collectives.cc" "src/CMakeFiles/cais.dir/workload/collectives.cc.o" "gcc" "src/CMakeFiles/cais.dir/workload/collectives.cc.o.d"
+  "/root/repo/src/workload/gemm_model.cc" "src/CMakeFiles/cais.dir/workload/gemm_model.cc.o" "gcc" "src/CMakeFiles/cais.dir/workload/gemm_model.cc.o.d"
+  "/root/repo/src/workload/llm_config.cc" "src/CMakeFiles/cais.dir/workload/llm_config.cc.o" "gcc" "src/CMakeFiles/cais.dir/workload/llm_config.cc.o.d"
+  "/root/repo/src/workload/transformer.cc" "src/CMakeFiles/cais.dir/workload/transformer.cc.o" "gcc" "src/CMakeFiles/cais.dir/workload/transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

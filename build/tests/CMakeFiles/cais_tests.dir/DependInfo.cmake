@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_address_expr.cc" "tests/CMakeFiles/cais_tests.dir/test_address_expr.cc.o" "gcc" "tests/CMakeFiles/cais_tests.dir/test_address_expr.cc.o.d"
+  "/root/repo/tests/test_area_model.cc" "tests/CMakeFiles/cais_tests.dir/test_area_model.cc.o" "gcc" "tests/CMakeFiles/cais_tests.dir/test_area_model.cc.o.d"
+  "/root/repo/tests/test_collectives.cc" "tests/CMakeFiles/cais_tests.dir/test_collectives.cc.o" "gcc" "tests/CMakeFiles/cais_tests.dir/test_collectives.cc.o.d"
+  "/root/repo/tests/test_compiler.cc" "tests/CMakeFiles/cais_tests.dir/test_compiler.cc.o" "gcc" "tests/CMakeFiles/cais_tests.dir/test_compiler.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/cais_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/cais_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_eviction_throttle.cc" "tests/CMakeFiles/cais_tests.dir/test_eviction_throttle.cc.o" "gcc" "tests/CMakeFiles/cais_tests.dir/test_eviction_throttle.cc.o.d"
+  "/root/repo/tests/test_fabric.cc" "tests/CMakeFiles/cais_tests.dir/test_fabric.cc.o" "gcc" "tests/CMakeFiles/cais_tests.dir/test_fabric.cc.o.d"
+  "/root/repo/tests/test_fusion_planner.cc" "tests/CMakeFiles/cais_tests.dir/test_fusion_planner.cc.o" "gcc" "tests/CMakeFiles/cais_tests.dir/test_fusion_planner.cc.o.d"
+  "/root/repo/tests/test_gpu_model.cc" "tests/CMakeFiles/cais_tests.dir/test_gpu_model.cc.o" "gcc" "tests/CMakeFiles/cais_tests.dir/test_gpu_model.cc.o.d"
+  "/root/repo/tests/test_group_sync.cc" "tests/CMakeFiles/cais_tests.dir/test_group_sync.cc.o" "gcc" "tests/CMakeFiles/cais_tests.dir/test_group_sync.cc.o.d"
+  "/root/repo/tests/test_hub.cc" "tests/CMakeFiles/cais_tests.dir/test_hub.cc.o" "gcc" "tests/CMakeFiles/cais_tests.dir/test_hub.cc.o.d"
+  "/root/repo/tests/test_instr.cc" "tests/CMakeFiles/cais_tests.dir/test_instr.cc.o" "gcc" "tests/CMakeFiles/cais_tests.dir/test_instr.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/cais_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/cais_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_isa_properties.cc" "tests/CMakeFiles/cais_tests.dir/test_isa_properties.cc.o" "gcc" "tests/CMakeFiles/cais_tests.dir/test_isa_properties.cc.o.d"
+  "/root/repo/tests/test_log.cc" "tests/CMakeFiles/cais_tests.dir/test_log.cc.o" "gcc" "tests/CMakeFiles/cais_tests.dir/test_log.cc.o.d"
+  "/root/repo/tests/test_merge_unit.cc" "tests/CMakeFiles/cais_tests.dir/test_merge_unit.cc.o" "gcc" "tests/CMakeFiles/cais_tests.dir/test_merge_unit.cc.o.d"
+  "/root/repo/tests/test_noc_link.cc" "tests/CMakeFiles/cais_tests.dir/test_noc_link.cc.o" "gcc" "tests/CMakeFiles/cais_tests.dir/test_noc_link.cc.o.d"
+  "/root/repo/tests/test_nvls_unit.cc" "tests/CMakeFiles/cais_tests.dir/test_nvls_unit.cc.o" "gcc" "tests/CMakeFiles/cais_tests.dir/test_nvls_unit.cc.o.d"
+  "/root/repo/tests/test_op_graph.cc" "tests/CMakeFiles/cais_tests.dir/test_op_graph.cc.o" "gcc" "tests/CMakeFiles/cais_tests.dir/test_op_graph.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/cais_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/cais_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_rng_config.cc" "tests/CMakeFiles/cais_tests.dir/test_rng_config.cc.o" "gcc" "tests/CMakeFiles/cais_tests.dir/test_rng_config.cc.o.d"
+  "/root/repo/tests/test_routing.cc" "tests/CMakeFiles/cais_tests.dir/test_routing.cc.o" "gcc" "tests/CMakeFiles/cais_tests.dir/test_routing.cc.o.d"
+  "/root/repo/tests/test_simulation_driver.cc" "tests/CMakeFiles/cais_tests.dir/test_simulation_driver.cc.o" "gcc" "tests/CMakeFiles/cais_tests.dir/test_simulation_driver.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/cais_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/cais_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_strategies.cc" "tests/CMakeFiles/cais_tests.dir/test_strategies.cc.o" "gcc" "tests/CMakeFiles/cais_tests.dir/test_strategies.cc.o.d"
+  "/root/repo/tests/test_switch_chip.cc" "tests/CMakeFiles/cais_tests.dir/test_switch_chip.cc.o" "gcc" "tests/CMakeFiles/cais_tests.dir/test_switch_chip.cc.o.d"
+  "/root/repo/tests/test_switch_compute_dispatch.cc" "tests/CMakeFiles/cais_tests.dir/test_switch_compute_dispatch.cc.o" "gcc" "tests/CMakeFiles/cais_tests.dir/test_switch_compute_dispatch.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/cais_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/cais_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_thread_block.cc" "tests/CMakeFiles/cais_tests.dir/test_thread_block.cc.o" "gcc" "tests/CMakeFiles/cais_tests.dir/test_thread_block.cc.o.d"
+  "/root/repo/tests/test_tile_dependency.cc" "tests/CMakeFiles/cais_tests.dir/test_tile_dependency.cc.o" "gcc" "tests/CMakeFiles/cais_tests.dir/test_tile_dependency.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/cais_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/cais_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_transformer_stack.cc" "tests/CMakeFiles/cais_tests.dir/test_transformer_stack.cc.o" "gcc" "tests/CMakeFiles/cais_tests.dir/test_transformer_stack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cais.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
