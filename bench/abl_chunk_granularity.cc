@@ -22,15 +22,24 @@ main(int argc, char **argv)
     LlmConfig m = a.model(llama7B());
     OpGraph g = buildSubLayer(m, SubLayerId::L1);
 
-    std::printf("%-10s %14s %14s %12s\n", "chunk", "CAIS (us)",
-                "SP-NVLS (us)", "speedup");
-    for (std::uint32_t chunk : {1024u, 2048u, 4096u, 8192u, 16384u}) {
+    const std::uint32_t chunks[] = {1024u, 2048u, 4096u, 8192u,
+                                    16384u};
+
+    std::vector<SweepJob> jobs;
+    for (std::uint32_t chunk : chunks) {
         RunConfig cfg = a.runConfig();
         cfg.chunkBytes = chunk;
-        RunResult cais =
-            runGraph(strategyByName("CAIS"), g, cfg, "L1");
-        RunResult nvls =
-            runGraph(strategyByName("SP-NVLS"), g, cfg, "L1");
+        addJob(jobs, strategyByName("CAIS"), g, cfg, "L1");
+        addJob(jobs, strategyByName("SP-NVLS"), g, cfg, "L1");
+    }
+    std::vector<RunResult> results = sweep(jobs);
+
+    std::printf("%-10s %14s %14s %12s\n", "chunk", "CAIS (us)",
+                "SP-NVLS (us)", "speedup");
+    std::size_t idx = 0;
+    for (std::uint32_t chunk : chunks) {
+        const RunResult &cais = results[idx++];
+        const RunResult &nvls = results[idx++];
         std::printf("%7u B %14.1f %14.1f %11.2fx\n", chunk,
                     cais.makespanUs(), nvls.makespanUs(),
                     speedupOver(nvls, cais));

@@ -58,13 +58,21 @@ main(int argc, char **argv)
     OpGraph stack =
         buildTransformerStack(m, stack_layers, Pass::forward);
 
+    std::vector<SweepJob> jobs;
+    for (const Step &s : steps()) {
+        addJob(jobs, s.spec, sub, cfg, "L1");
+        addJob(jobs, s.spec, stack, cfg, "stack");
+    }
+    std::vector<RunResult> results = sweep(jobs);
+
     std::printf("%-32s %14s %18s\n", "configuration",
                 "L1 sub-layer", "3-layer stack/layer");
 
     double base_sub = 0.0, base_stack = 0.0;
+    std::size_t idx = 0;
     for (const Step &s : steps()) {
-        RunResult rs = runGraph(s.spec, sub, cfg, "L1");
-        RunResult rk = runGraph(s.spec, stack, cfg, "stack");
+        const RunResult &rs = results[idx++];
+        const RunResult &rk = results[idx++];
         double per_layer = rk.makespanUs() / stack_layers;
         if (base_sub == 0.0) {
             base_sub = rs.makespanUs();

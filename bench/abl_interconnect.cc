@@ -23,16 +23,32 @@ main(int argc, char **argv)
     LlmConfig m = a.model(llama7B());
     OpGraph g = buildSubLayer(m, SubLayerId::L1);
 
+    const double bws[] = {150.0, 300.0, 450.0, 900.0};
+    const Cycle lats[] = {100u, 250u, 500u, 1000u};
+
+    // One grid over both sweeps: bandwidth pairs, then latency pairs.
+    std::vector<SweepJob> jobs;
+    for (double bw : bws) {
+        RunConfig cfg = a.runConfig();
+        cfg.perGpuBwPerDir = bw;
+        addJob(jobs, strategyByName("CAIS"), g, cfg, "L1");
+        addJob(jobs, strategyByName("SP-NVLS"), g, cfg, "L1");
+    }
+    for (Cycle lat : lats) {
+        RunConfig cfg = a.runConfig();
+        cfg.linkLatency = lat;
+        addJob(jobs, strategyByName("CAIS"), g, cfg, "L1");
+        addJob(jobs, strategyByName("SP-NVLS"), g, cfg, "L1");
+    }
+    std::vector<RunResult> results = sweep(jobs);
+    std::size_t idx = 0;
+
     std::printf("per-GPU bandwidth sweep (latency 250 ns):\n");
     std::printf("%-14s %12s %14s %10s\n", "GB/s per dir",
                 "CAIS (us)", "SP-NVLS (us)", "speedup");
-    for (double bw : {150.0, 300.0, 450.0, 900.0}) {
-        RunConfig cfg = a.runConfig();
-        cfg.perGpuBwPerDir = bw;
-        RunResult cais =
-            runGraph(strategyByName("CAIS"), g, cfg, "L1");
-        RunResult nvls =
-            runGraph(strategyByName("SP-NVLS"), g, cfg, "L1");
+    for (double bw : bws) {
+        const RunResult &cais = results[idx++];
+        const RunResult &nvls = results[idx++];
         std::printf("%-14.0f %12.1f %14.1f %9.2fx\n", bw,
                     cais.makespanUs(), nvls.makespanUs(),
                     speedupOver(nvls, cais));
@@ -41,13 +57,9 @@ main(int argc, char **argv)
     std::printf("\nhop latency sweep (450 GB/s per direction):\n");
     std::printf("%-14s %12s %14s %10s\n", "latency (ns)",
                 "CAIS (us)", "SP-NVLS (us)", "speedup");
-    for (Cycle lat : {100u, 250u, 500u, 1000u}) {
-        RunConfig cfg = a.runConfig();
-        cfg.linkLatency = lat;
-        RunResult cais =
-            runGraph(strategyByName("CAIS"), g, cfg, "L1");
-        RunResult nvls =
-            runGraph(strategyByName("SP-NVLS"), g, cfg, "L1");
+    for (Cycle lat : lats) {
+        const RunResult &cais = results[idx++];
+        const RunResult &nvls = results[idx++];
         std::printf("%-14llu %12.1f %14.1f %9.2fx\n",
                     static_cast<unsigned long long>(lat),
                     cais.makespanUs(), nvls.makespanUs(),

@@ -22,13 +22,22 @@ main(int argc, char **argv)
     LlmConfig m = a.model(llama7B());
     OpGraph g = buildSubLayer(m, SubLayerId::L1);
 
-    std::printf("%-10s %12s %20s %14s\n", "window", "time (us)",
-                "peak table/port", "stagger (us)");
-    for (int cap : {16, 32, 64, 128, 256, 512}) {
+    const int caps[] = {16, 32, 64, 128, 256, 512};
+
+    std::vector<SweepJob> jobs;
+    for (int cap : caps) {
         RunConfig cfg = a.runConfig();
         cfg.unboundedMergeTable = true;
         cfg.gpu.maxCaisLoadOutstanding = cap;
-        RunResult r = runGraph(strategyByName("CAIS"), g, cfg, "L1");
+        addJob(jobs, strategyByName("CAIS"), g, cfg, "L1");
+    }
+    std::vector<RunResult> results = sweep(jobs);
+
+    std::printf("%-10s %12s %20s %14s\n", "window", "time (us)",
+                "peak table/port", "stagger (us)");
+    std::size_t idx = 0;
+    for (int cap : caps) {
+        const RunResult &r = results[idx++];
         std::printf("%-10d %12.1f %17llu KB %14.2f\n", cap,
                     r.makespanUs(),
                     static_cast<unsigned long long>(

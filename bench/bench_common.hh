@@ -13,10 +13,12 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/config.hh"
 #include "runtime/simulation_driver.hh"
+#include "runtime/sweep.hh"
 #include "workload/llm_config.hh"
 
 namespace cais::bench
@@ -78,9 +80,33 @@ inline void
 banner(const char *what, const BenchArgs &a)
 {
     std::printf("== %s ==\n", what);
-    std::printf("config: %d GPUs x %d switches, dim=%.3g tok=%.3g "
+    std::printf("config: %d GPUs x %d switches, dim=%.3g tok=%.3g, "
+                "%d sim jobs (CAIS_JOBS)\n"
                 "(pass dim=1 tok=1 for Table-I sizes)\n\n",
-                a.gpus, a.switches, a.dimFactor, a.tokFactor);
+                a.gpus, a.switches, a.dimFactor, a.tokFactor,
+                SweepRunner::defaultThreads());
+}
+
+/**
+ * Sweep scaffolding shared by every grid-shaped bench: queue jobs in
+ * the order the printing code will consume them, then execute the
+ * whole grid on the CAIS_JOBS worker pool. Results come back in
+ * submission order and are bit-identical to a serial run.
+ */
+inline void
+addJob(std::vector<SweepJob> &jobs, StrategySpec spec, OpGraph graph,
+       RunConfig cfg, std::string workload)
+{
+    jobs.push_back(makeSweepJob(std::move(spec), std::move(graph),
+                                std::move(cfg),
+                                std::move(workload)));
+}
+
+/** Run a queued grid on the default (CAIS_JOBS-sized) pool. */
+inline std::vector<RunResult>
+sweep(const std::vector<SweepJob> &jobs)
+{
+    return runSweep(jobs);
 }
 
 /** "1.38x"-style speedup cell. */

@@ -32,16 +32,6 @@ const PaperRow paperGeomeans[] = {
     {"LADM", 7.60, 7.59},      {"CAIS-Base", 1.43, 1.42},
 };
 
-double
-layerTimeUs(const StrategySpec &spec, const LlmConfig &m,
-            const RunConfig &cfg, Pass pass)
-{
-    OpGraph g = buildTransformerLayer(m, pass);
-    RunResult r = runGraph(spec, g, cfg,
-                           pass == Pass::forward ? "fwd" : "bwd");
-    return r.makespanUs();
-}
-
 } // namespace
 
 int
@@ -70,13 +60,33 @@ main(int argc, char **argv)
     };
     std::vector<ModelTimes> times;
 
+    // One job per (model, strategy, pass), executed on the pool.
+    std::vector<SweepJob> jobs;
     for (const auto &base : tableOneModels()) {
         LlmConfig m = a.model(base);
+        for (const auto &spec : strategies) {
+            for (Pass pass : {Pass::forward, Pass::backward}) {
+                SweepJob j;
+                j.spec = spec;
+                j.cfg = cfg;
+                j.workload =
+                    pass == Pass::forward ? "fwd" : "bwd";
+                j.graph = [m, pass] {
+                    return buildTransformerLayer(m, pass);
+                };
+                jobs.push_back(std::move(j));
+            }
+        }
+    }
+    std::vector<RunResult> results = sweep(jobs);
+
+    std::size_t idx = 0;
+    for (const auto &base : tableOneModels()) {
         ModelTimes mt;
         mt.model = base.name;
-        for (const auto &spec : strategies) {
-            double fwd = layerTimeUs(spec, m, cfg, Pass::forward);
-            double bwd = layerTimeUs(spec, m, cfg, Pass::backward);
+        for (std::size_t s = 0; s < strategies.size(); ++s) {
+            double fwd = results[idx++].makespanUs();
+            double bwd = results[idx++].makespanUs();
             mt.inf.push_back(fwd);
             mt.train.push_back(fwd + bwd);
         }

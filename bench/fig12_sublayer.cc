@@ -27,22 +27,36 @@ main(int argc, char **argv)
     std::vector<std::vector<double>> ratios(
         strategies.size() - 1); // per baseline, across model x L
 
+    const SubLayerId subLayers[] = {SubLayerId::L1, SubLayerId::L2,
+                                    SubLayerId::L3, SubLayerId::L4};
+
+    // One job per (model, sub-layer, strategy), run on the pool.
+    std::vector<SweepJob> jobs;
     for (const auto &base : tableOneModels()) {
         LlmConfig m = a.model(base);
+        for (SubLayerId L : subLayers) {
+            for (const auto &spec : strategies) {
+                SweepJob j;
+                j.spec = spec;
+                j.cfg = cfg;
+                j.workload = subLayerName(L);
+                j.graph = [m, L] { return buildSubLayer(m, L); };
+                jobs.push_back(std::move(j));
+            }
+        }
+    }
+    std::vector<RunResult> results = sweep(jobs);
+
+    std::size_t idx = 0;
+    for (const auto &base : tableOneModels()) {
         std::printf("-- %s --\n", base.name.c_str());
         std::printf("%-14s %10s %10s %10s %10s\n", "strategy", "L1",
                     "L2", "L3", "L4");
 
         std::vector<std::vector<double>> us(strategies.size());
-        for (SubLayerId L : {SubLayerId::L1, SubLayerId::L2,
-                             SubLayerId::L3, SubLayerId::L4}) {
-            OpGraph g = buildSubLayer(m, L);
-            for (std::size_t s = 0; s < strategies.size(); ++s) {
-                RunResult r = runGraph(strategies[s], g, cfg,
-                                       subLayerName(L));
-                us[s].push_back(r.makespanUs());
-            }
-        }
+        for (std::size_t L = 0; L < 4; ++L)
+            for (std::size_t s = 0; s < strategies.size(); ++s)
+                us[s].push_back(results[idx++].makespanUs());
 
         for (std::size_t s = 0; s < strategies.size(); ++s) {
             std::printf("%-14s", strategies[s].name.c_str());

@@ -30,14 +30,18 @@ struct Variant
     bool zeroJitter = false;
 };
 
-RunResult
-runVariant(const Variant &v, const LlmConfig &m, RunConfig cfg)
+SweepJob
+variantJob(const Variant &v, const LlmConfig &m, RunConfig cfg)
 {
     cfg.unboundedMergeTable = true; // measure required size
     if (v.zeroJitter)
         cfg.gpu.jitterSigma = 0.0;
-    OpGraph g = buildSubLayer(m, SubLayerId::L1);
-    return runGraph(strategyByName(v.strategy), g, cfg, "L1");
+    SweepJob j;
+    j.spec = strategyByName(v.strategy);
+    j.cfg = cfg;
+    j.workload = "L1";
+    j.graph = [m] { return buildSubLayer(m, SubLayerId::L1); };
+    return j;
 }
 
 } // namespace
@@ -56,15 +60,33 @@ main(int argc, char **argv)
     banner("Fig. 13: merge-table sizing & TB-coordination ablation",
            a);
 
+    // Queue (a) and (b) as one grid; both parts run on the pool.
+    const Variant steps[] = {
+        {"uncoordinated", "CAIS-w/o-Coord", false},
+        {"+pre-launch & pre-access sync", "CAIS-Partial", false},
+        {"+traffic control (full CAIS)", "CAIS", false},
+        {"full CAIS, no scheduling jitter", "CAIS", true},
+    };
+    LlmConfig m7 = a.model(llama7B());
+
+    std::vector<SweepJob> jobs;
+    for (const auto &base : tableOneModels()) {
+        LlmConfig m = a.model(base);
+        for (const char *variant : {"CAIS", "CAIS-w/o-Coord"})
+            jobs.push_back(variantJob({variant, variant}, m, cfg));
+    }
+    for (const Variant &v : steps)
+        jobs.push_back(variantJob(v, m7, cfg));
+    std::vector<RunResult> results = sweep(jobs);
+
     // ---------------- (a) required table size --------------------
     std::printf("(a) minimal required merge-table size per port\n");
     std::printf("%-18s %12s %16s %22s\n", "model", "variant",
                 "bytes/port", "128B-entry equiv");
+    std::size_t idx = 0;
     for (const auto &base : tableOneModels()) {
-        LlmConfig m = a.model(base);
         for (const char *variant : {"CAIS", "CAIS-w/o-Coord"}) {
-            RunResult r =
-                runVariant({variant, variant}, m, cfg);
+            const RunResult &r = results[idx++];
             std::printf("%-18s %12s %13llu KB %16llu KB\n",
                         base.name.c_str(),
                         std::string(variant) == "CAIS" ? "coord"
@@ -82,17 +104,9 @@ main(int argc, char **argv)
 
     // ---------------- (b) waiting-time ablation -------------------
     std::printf("(b) request stagger (first-to-last arrival delay)\n");
-    LlmConfig m = a.model(llama7B());
-
-    const Variant steps[] = {
-        {"uncoordinated", "CAIS-w/o-Coord", false},
-        {"+pre-launch & pre-access sync", "CAIS-Partial", false},
-        {"+traffic control (full CAIS)", "CAIS", false},
-        {"full CAIS, no scheduling jitter", "CAIS", true},
-    };
     std::printf("%-34s %14s\n", "configuration", "stagger (us)");
     for (const Variant &v : steps) {
-        RunResult r = runVariant(v, m, cfg);
+        const RunResult &r = results[idx++];
         std::printf("%-34s %14.2f\n", v.label, r.staggerUs);
     }
     std::printf("paper: 35 us uncoordinated -> <3 us with full "

@@ -26,26 +26,32 @@ main(int argc, char **argv)
     LlmConfig m = a.model(llama7B());
     OpGraph g = buildSubLayer(m, SubLayerId::L1);
 
-    // Reference: unbounded tables.
+    const int entriesSweep[] = {16, 32, 48, 64, 96, 128, 192, 320};
+
+    // Job grid: the unbounded reference pair, then the entry sweep
+    // (CAIS and the uncoordinated variant at each size).
+    std::vector<SweepJob> jobs;
     RunConfig ref_cfg = base_cfg;
     ref_cfg.unboundedMergeTable = true;
-    double cais_ref =
-        runGraph(strategyByName("CAIS"), g, ref_cfg, "L1")
-            .makespanUs();
-    double noco_ref =
-        runGraph(strategyByName("CAIS-w/o-Coord"), g, ref_cfg, "L1")
-            .makespanUs();
+    for (const char *v : {"CAIS", "CAIS-w/o-Coord"})
+        addJob(jobs, strategyByName(v), g, ref_cfg, "L1");
+    for (int entries : entriesSweep) {
+        RunConfig cfg = base_cfg;
+        cfg.mergeTableEntriesPerPort = entries;
+        for (const char *v : {"CAIS", "CAIS-w/o-Coord"})
+            addJob(jobs, strategyByName(v), g, cfg, "L1");
+    }
+    std::vector<RunResult> results = sweep(jobs);
+
+    double cais_ref = results[0].makespanUs();
+    double noco_ref = results[1].makespanUs();
 
     std::printf("%-12s %18s %22s\n", "entries/port",
                 "CAIS (rel. perf)", "w/o coord (rel. perf)");
-    for (int entries : {16, 32, 48, 64, 96, 128, 192, 320}) {
-        RunConfig cfg = base_cfg;
-        cfg.mergeTableEntriesPerPort = entries;
-        double cais = runGraph(strategyByName("CAIS"), g, cfg, "L1")
-                          .makespanUs();
-        double noco =
-            runGraph(strategyByName("CAIS-w/o-Coord"), g, cfg, "L1")
-                .makespanUs();
+    std::size_t idx = 2;
+    for (int entries : entriesSweep) {
+        double cais = results[idx++].makespanUs();
+        double noco = results[idx++].makespanUs();
         std::printf("%-12d %17.1f%% %21.1f%%\n", entries,
                     100.0 * cais_ref / cais, 100.0 * noco_ref / noco);
     }

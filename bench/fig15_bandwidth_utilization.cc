@@ -63,17 +63,30 @@ main(int argc, char **argv)
     std::printf("%-10s %12s %12s %12s\n", "sub-layer", "CAIS-Base",
                 "CAIS-Partial", "CAIS");
 
+    const SubLayerId subLayers[] = {SubLayerId::L1, SubLayerId::L2,
+                                    SubLayerId::L3, SubLayerId::L4};
+
+    LlmConfig m = a.model(llama7B());
+    std::vector<SweepJob> jobs;
+    for (SubLayerId L : subLayers) {
+        for (int v = 0; v < 3; ++v) {
+            SweepJob j;
+            j.spec = strategyByName(variants[v]);
+            j.cfg = cfg;
+            j.workload = subLayerName(L);
+            j.graph = [m, L] { return buildSubLayer(m, L); };
+            jobs.push_back(std::move(j));
+        }
+    }
+    std::vector<RunResult> results = sweep(jobs);
+
     double sums[3] = {0, 0, 0};
     int count = 0;
-    LlmConfig m = a.model(llama7B());
-    for (SubLayerId L : {SubLayerId::L1, SubLayerId::L2,
-                         SubLayerId::L3, SubLayerId::L4}) {
-        OpGraph g = buildSubLayer(m, L);
+    std::size_t idx = 0;
+    for (SubLayerId L : subLayers) {
         double u[3];
         for (int v = 0; v < 3; ++v) {
-            RunResult r = runGraph(strategyByName(variants[v]), g,
-                                   cfg, subLayerName(L));
-            u[v] = activeWindowUtil(r);
+            u[v] = activeWindowUtil(results[idx++]);
             sums[v] += u[v];
         }
         ++count;

@@ -36,6 +36,9 @@ main(int argc, char **argv)
     };
     std::vector<Row> rows;
 
+    // Queue the (GPU count) x (CAIS, CoCoNet-NVLS) grid.
+    std::vector<SweepJob> jobs;
+    std::vector<double> flopsPerGpu;
     for (int gpus : {8, 16, 32}) {
         RunConfig cfg = a.runConfig();
         cfg.numGpus = gpus;
@@ -48,24 +51,31 @@ main(int argc, char **argv)
         m.ffnHidden = base.ffnHidden * gpus / 8;
 
         OpGraph g = buildSubLayer(m, SubLayerId::L1);
-        Row row;
-        row.gpus = gpus;
 
         // Per-GPU compute throughput = per-GPU FLOPs / time (the
         // hidden-dim scaling grows per-GPU FLOPs with G).
         double flops_per_gpu = 0.0;
         for (const OpNode &n : g.ops())
             flops_per_gpu += n.flops() * n.flopScale;
-        flops_per_gpu /= gpus;
+        flopsPerGpu.push_back(flops_per_gpu / gpus);
 
-        RunResult cais = runGraph(strategyByName("CAIS"), g, cfg,
-                                  "L1");
-        RunResult coco = runGraph(strategyByName("CoCoNet-NVLS"), g,
-                                  cfg, "L1");
-        row.caisTput = flops_per_gpu / cais.makespanUs();
-        row.coconetTput = flops_per_gpu / coco.makespanUs();
+        addJob(jobs, strategyByName("CAIS"), g, cfg, "L1");
+        addJob(jobs, strategyByName("CoCoNet-NVLS"), g, cfg, "L1");
+    }
+    std::vector<RunResult> results = sweep(jobs);
+
+    std::size_t idx = 0;
+    std::size_t scale = 0;
+    for (int gpus : {8, 16, 32}) {
+        Row row;
+        row.gpus = gpus;
+        const RunResult &cais = results[idx++];
+        const RunResult &coco = results[idx++];
+        row.caisTput = flopsPerGpu[scale] / cais.makespanUs();
+        row.coconetTput = flopsPerGpu[scale] / coco.makespanUs();
         row.peakTable = cais.peakMergeBytes;
         rows.push_back(row);
+        ++scale;
     }
 
     double norm = rows[0].caisTput;

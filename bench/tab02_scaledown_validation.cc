@@ -19,13 +19,13 @@ using namespace cais::bench;
 namespace
 {
 
-double
-speedupOverTpNvls(const LlmConfig &m, RunConfig cfg)
+void
+queueTpNvlsPair(std::vector<SweepJob> &jobs, const LlmConfig &m,
+                const RunConfig &cfg)
 {
     OpGraph g = buildSubLayer(m, SubLayerId::L1);
-    RunResult tp = runGraph(strategyByName("TP-NVLS"), g, cfg, "L1");
-    RunResult cais = runGraph(strategyByName("CAIS"), g, cfg, "L1");
-    return speedupOver(tp, cais);
+    addJob(jobs, strategyByName("TP-NVLS"), g, cfg, "L1");
+    addJob(jobs, strategyByName("CAIS"), g, cfg, "L1");
 }
 
 } // namespace
@@ -48,8 +48,13 @@ main(int argc, char **argv)
     RunConfig cfg_half = a.runConfig();
     cfg_half.gpu.numSms = sms_full / 2;
 
-    double s_full = speedupOverTpNvls(full, cfg_full);
-    double s_half = speedupOverTpNvls(half, cfg_half);
+    std::vector<SweepJob> jobs;
+    queueTpNvlsPair(jobs, full, cfg_full);
+    queueTpNvlsPair(jobs, half, cfg_half);
+    std::vector<RunResult> results = sweep(jobs);
+
+    double s_full = speedupOver(results[0], results[1]);
+    double s_half = speedupOver(results[2], results[3]);
 
     std::printf("%-8s %8s %12s %8s %6s %26s\n", "setup", "hidden",
                 "ffn-hidden", "heads", "#SM",

@@ -21,6 +21,9 @@ using namespace cais;
 namespace
 {
 
+/** File-local packet-id allocator for hand-crafted packets. */
+PacketIdAllocator ids;
+
 struct NarratingGpu : public PacketSink
 {
     EventQueue *eq = nullptr;
@@ -39,8 +42,8 @@ struct NarratingGpu : public PacketSink
                         id, pkt.reqBytes,
                         static_cast<unsigned long long>(pkt.addr));
             {
-                Packet resp = makePacket(PacketType::readResp, id,
-                                         pkt.src);
+                Packet resp = makePacket(ids, PacketType::readResp, id,
+                                              pkt.src);
                 resp.addr = pkt.addr;
                 resp.payloadBytes = pkt.reqBytes;
                 resp.cookie = pkt.cookie;
@@ -101,7 +104,7 @@ main(int argc, char **argv)
                 "(home = GPU 0):\n", gpus - 1);
     Addr load_addr = makeAddr(0, 1 << 20);
     for (GpuId g = 1; g < gpus; ++g) {
-        Packet p = makePacket(PacketType::caisLoadReq, g, sw.nodeId());
+        Packet p = makePacket(ids, PacketType::caisLoadReq, g, sw.nodeId());
         p.addr = load_addr;
         p.reqBytes = ip.merge.chunkBytes;
         p.expected = gpus - 1;
@@ -123,7 +126,7 @@ main(int argc, char **argv)
                 "(home = GPU %d):\n", gpus - 2, gpus - 1);
     Addr red_addr = makeAddr(gpus - 1, 1 << 16);
     for (GpuId g = 0; g < gpus - 1; ++g) {
-        Packet p = makePacket(PacketType::caisRedReq, g, sw.nodeId());
+        Packet p = makePacket(ids, PacketType::caisRedReq, g, sw.nodeId());
         p.addr = red_addr;
         p.payloadBytes = ip.merge.chunkBytes;
         p.expected = gpus - 1;
@@ -139,7 +142,7 @@ main(int argc, char **argv)
 
     std::printf("== eviction: the table holds only 2 sessions ==\n");
     for (int i = 0; i < 4; ++i) {
-        Packet p = makePacket(PacketType::caisRedReq, 0, sw.nodeId());
+        Packet p = makePacket(ids, PacketType::caisRedReq, 0, sw.nodeId());
         p.addr = makeAddr(gpus - 1, (2u << 16) + 0x1000u *
                                         static_cast<unsigned>(i));
         p.payloadBytes = ip.merge.chunkBytes;

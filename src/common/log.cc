@@ -1,5 +1,6 @@
 #include "common/log.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -9,19 +10,38 @@ namespace cais
 
 namespace
 {
-LogLevel g_level = LogLevel::normal;
+std::atomic<LogLevel> g_level{LogLevel::normal};
+
+/** Innermost ScopedLogLevel override on this thread, if any. */
+thread_local LogLevel t_level = LogLevel::normal;
+thread_local bool t_levelActive = false;
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    if (t_levelActive)
+        return t_level;
+    return g_level.load(std::memory_order_relaxed);
+}
+
+ScopedLogLevel::ScopedLogLevel(LogLevel level)
+    : prev(t_level), prevActive(t_levelActive)
+{
+    t_level = level;
+    t_levelActive = true;
+}
+
+ScopedLogLevel::~ScopedLogLevel()
+{
+    t_level = prev;
+    t_levelActive = prevActive;
 }
 
 std::string
@@ -81,7 +101,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (g_level == LogLevel::quiet)
+    if (logLevel() == LogLevel::quiet)
         return;
     std::va_list ap;
     va_start(ap, fmt);
@@ -93,7 +113,7 @@ inform(const char *fmt, ...)
 void
 informVerbose(const char *fmt, ...)
 {
-    if (g_level != LogLevel::verbose)
+    if (logLevel() != LogLevel::verbose)
         return;
     std::va_list ap;
     va_start(ap, fmt);

@@ -22,11 +22,39 @@ namespace cais
 /** Verbosity levels for inform(); warnings always print. */
 enum class LogLevel { quiet = 0, normal = 1, verbose = 2 };
 
-/** Set the global verbosity for inform()/informVerbose(). */
+/**
+ * Set the process-wide default verbosity for inform() /
+ * informVerbose(). Thread-safe (the level is an atomic); per-run
+ * overrides are installed with ScopedLogLevel.
+ */
 void setLogLevel(LogLevel level);
 
-/** Current global verbosity. */
+/**
+ * Effective verbosity on the calling thread: the innermost
+ * ScopedLogLevel override if one is active, else the process-wide
+ * default.
+ */
 LogLevel logLevel();
+
+/**
+ * RAII thread-local verbosity override. Simulation jobs running
+ * concurrently on a SweepRunner worker pool each carry their own
+ * RunConfig verbosity without touching (or racing on) the global
+ * default; nesting restores the outer override on destruction.
+ */
+class ScopedLogLevel
+{
+  public:
+    explicit ScopedLogLevel(LogLevel level);
+    ~ScopedLogLevel();
+
+    ScopedLogLevel(const ScopedLogLevel &) = delete;
+    ScopedLogLevel &operator=(const ScopedLogLevel &) = delete;
+
+  private:
+    LogLevel prev;
+    bool prevActive;
+};
 
 /** printf-style formatting into a std::string. */
 std::string vstrfmt(const char *fmt, std::va_list ap);

@@ -62,10 +62,16 @@ GpuHub::submit(std::unique_ptr<HubJob> job)
     pump();
 }
 
+Packet
+GpuHub::newPacket(PacketType t, int dst)
+{
+    return makePacket(fabric.packetIds(), t, gpu, dst);
+}
+
 void
 GpuHub::sendSyncReq(GroupId group, SyncPhase phase, int expected)
 {
-    Packet pkt = makePacket(PacketType::groupSyncReq, gpu, invalidId);
+    Packet pkt = newPacket(PacketType::groupSyncReq, invalidId);
     pkt.group = group;
     pkt.cookie = static_cast<std::uint64_t>(phase);
     pkt.expected = expected;
@@ -175,38 +181,36 @@ GpuHub::injectChunk(std::uint64_t job_id, JobState &js,
     Packet pkt;
     switch (c.kind) {
       case RemoteOpKind::caisLoad:
-        pkt = makePacket(PacketType::caisLoadReq, gpu, invalidId);
+        pkt = newPacket(PacketType::caisLoadReq, invalidId);
         pkt.reqBytes = c.bytes;
         pkt.dst = fabric.switchNodeId(fabric.routeAddr(c.addr));
         break;
       case RemoteOpKind::plainLoad:
-        pkt = makePacket(PacketType::readReq, gpu, addrHomeGpu(c.addr));
+        pkt = newPacket(PacketType::readReq, addrHomeGpu(c.addr));
         pkt.reqBytes = c.bytes;
         break;
       case RemoteOpKind::nvlsLdReduce:
-        pkt = makePacket(PacketType::multimemLdReduceReq, gpu,
-                         invalidId);
+        pkt = newPacket(PacketType::multimemLdReduceReq, invalidId);
         pkt.reqBytes = c.bytes;
         pkt.dst = fabric.switchNodeId(fabric.routeAddr(c.addr));
         break;
       case RemoteOpKind::nvlsSt:
-        pkt = makePacket(PacketType::multimemSt, gpu, invalidId);
+        pkt = newPacket(PacketType::multimemSt, invalidId);
         pkt.payloadBytes = c.bytes;
         pkt.dst = fabric.switchNodeId(fabric.routeAddr(c.addr));
         break;
       case RemoteOpKind::nvlsRed:
-        pkt = makePacket(PacketType::multimemRed, gpu, invalidId);
+        pkt = newPacket(PacketType::multimemRed, invalidId);
         pkt.payloadBytes = c.bytes;
         pkt.dst = fabric.switchNodeId(fabric.routeAddr(c.addr));
         break;
       case RemoteOpKind::caisRed:
-        pkt = makePacket(PacketType::caisRedReq, gpu, invalidId);
+        pkt = newPacket(PacketType::caisRedReq, invalidId);
         pkt.payloadBytes = c.bytes;
         pkt.dst = fabric.switchNodeId(fabric.routeAddr(c.addr));
         break;
       case RemoteOpKind::plainWrite:
-        pkt = makePacket(PacketType::writeReq, gpu,
-                         addrHomeGpu(c.addr));
+        pkt = newPacket(PacketType::writeReq, addrHomeGpu(c.addr));
         pkt.payloadBytes = c.bytes;
         break;
       default:
@@ -283,7 +287,7 @@ GpuHub::serveRead(Packet &&pkt)
 {
     served.inc(pkt.reqBytes);
     int reply_to = pkt.src;
-    Packet resp = makePacket(PacketType::readResp, gpu, reply_to);
+    Packet resp = newPacket(PacketType::readResp, reply_to);
     resp.addr = pkt.addr;
     resp.payloadBytes = pkt.reqBytes;
     if (pkt.padResponse)
@@ -313,7 +317,7 @@ GpuHub::landWrite(Packet &&pkt)
         if (arrivals)
             arrivals->onDataArrival(gpu, addr, bytes, contribs);
         if (need_ack && acker != invalidId && acker != gpu) {
-            Packet ack = makePacket(PacketType::writeAck, gpu, acker);
+            Packet ack = newPacket(PacketType::writeAck, acker);
             ack.addr = addr;
             ack.cookie = cookie;
             wireOrder.push_back(0);

@@ -131,6 +131,10 @@ class GpuHub : public PacketSink
     void serveRead(Packet &&pkt);
     void landWrite(Packet &&pkt);
 
+    /** Build a packet from this GPU with a fresh simulation-wide id
+     *  (the owning Fabric's allocator). */
+    Packet newPacket(PacketType t, int dst);
+
     EventQueue &eq;
     Fabric &fabric;
     GpuId gpu;

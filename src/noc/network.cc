@@ -18,6 +18,7 @@ Fabric::Fabric(EventQueue &eq_, const FabricParams &params)
     for (SwitchId s = 0; s < p.numSwitches; ++s) {
         switches.push_back(std::make_unique<SwitchChip>(
             eq, s, switchNodeId(s), p.numGpus, p.sw));
+        switches.back()->setPacketIds(&pktIds);
     }
 
     up.resize(static_cast<std::size_t>(p.numGpus));

@@ -56,6 +56,13 @@ class Fabric
     const DeterministicRouting &routing() const { return route; }
 
     /**
+     * The simulation-wide packet-id source. Owned here (one per
+     * System) so ids restart from 1 for every run and concurrent
+     * Systems stay bit-identical to serial execution.
+     */
+    PacketIdAllocator &packetIds() { return pktIds; }
+
+    /**
      * Mean link utilization in [t0, t1) as a fraction of capacity,
      * averaged over all links and both directions (the metric of
      * Fig. 15).
@@ -82,6 +89,7 @@ class Fabric
     EventQueue &eq;
     FabricParams p;
     DeterministicRouting route;
+    PacketIdAllocator pktIds;
 
     std::vector<std::unique_ptr<SwitchChip>> switches;
     // up[g][s]: GPU g -> switch s; down[s][g]: switch s -> GPU g.

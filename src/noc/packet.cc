@@ -70,18 +70,11 @@ policedVc(VcClass vc, bool unified_data_vc)
     return vc;
 }
 
-std::uint64_t
-nextPacketId()
-{
-    static std::uint64_t counter = 0;
-    return ++counter;
-}
-
 Packet
-makePacket(PacketType t, int src, int dst)
+makePacket(PacketIdAllocator &ids, PacketType t, int src, int dst)
 {
     Packet p;
-    p.id = nextPacketId();
+    p.id = ids.next();
     p.type = t;
     p.vc = defaultVcClass(t);
     p.src = src;

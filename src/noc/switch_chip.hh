@@ -75,6 +75,23 @@ class SwitchChip : public PacketSink
 
     void setComputeHandler(SwitchComputeHandler *h) { handler = h; }
 
+    /**
+     * Point unit-generated packets at the simulation-wide id source
+     * (the owning Fabric's allocator). A standalone chip (unit tests)
+     * falls back to a private allocator.
+     */
+    void setPacketIds(PacketIdAllocator *ids) { pktIds = ids; }
+
+    /** Id source for packets the attached compute units generate. */
+    PacketIdAllocator &packetIds() { return *pktIds; }
+
+    /** Build a unit-generated packet (src = this switch's node id)
+     *  with a fresh id from the simulation-wide allocator. */
+    Packet makePacket(PacketType t, int dst)
+    {
+        return cais::makePacket(*pktIds, t, node, dst);
+    }
+
     void acceptPacket(Packet &&pkt, CreditLink *from, int vc) override;
 
     /**
@@ -125,6 +142,9 @@ class SwitchChip : public PacketSink
     std::vector<std::vector<std::vector<std::pair<int, int>>>> waiting;
 
     SwitchComputeHandler *handler = nullptr;
+
+    PacketIdAllocator ownIds;
+    PacketIdAllocator *pktIds = &ownIds;
 
     Counter forwarded;
     Counter consumed;

@@ -41,6 +41,7 @@ RunResult
 runGraph(const StrategySpec &spec, const OpGraph &graph,
          const RunConfig &cfg, const std::string &workload_name)
 {
+    ScopedLogLevel verbosity(cfg.verbosity);
     System sys(cfg.toSystemConfig(spec));
     GraphLowering lowering(sys, graph, spec.opts);
     lowering.lower();

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/log.hh"
 #include "runtime/execution_strategy.hh"
 
 namespace cais
@@ -51,6 +52,11 @@ struct RunConfig
     /** When non-empty, a Chrome trace (Perfetto-loadable) of kernel
      *  spans and link-utilization counters is written here. */
     std::string tracePath;
+
+    /** Per-run verbosity, installed as a thread-local override for
+     *  the duration of the run (sweep jobs don't race on the global
+     *  log level). */
+    LogLevel verbosity = LogLevel::normal;
 
     /** Build the system configuration for a strategy. */
     SystemConfig toSystemConfig(const StrategySpec &spec) const;

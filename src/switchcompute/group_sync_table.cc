@@ -45,8 +45,7 @@ GroupSyncTable::handleSyncReq(Packet &&pkt)
     for (GpuId g = 0; g < sw.numGpus(); ++g) {
         if (!(mask & (1ull << g)))
             continue;
-        Packet rel = makePacket(PacketType::groupSyncRelease,
-                                sw.nodeId(), g);
+        Packet rel = sw.makePacket(PacketType::groupSyncRelease, g);
         rel.group = group;
         rel.cookie = phase;
         rel.issuerGpu = g;

@@ -17,8 +17,7 @@ MergeUnit::MergeUnit(SwitchChip &sw_, const MergeParams &params)
     if (p.throttleEnabled) {
         throttle.setHintCallback(
             [this](GpuId g, GroupId group, Cycle pause) {
-            Packet hint = makePacket(PacketType::throttleHint,
-                                     sw.nodeId(), g);
+            Packet hint = sw.makePacket(PacketType::throttleHint, g);
             hint.group = group;
             hint.cookie = pause;
             hint.issuerGpu = g;
@@ -76,8 +75,7 @@ MergeUnit::noteClose(bool is_load)
 void
 MergeUnit::respondLoad(const Packet &req, std::uint32_t bytes)
 {
-    Packet resp = makePacket(PacketType::caisLoadResp, sw.nodeId(),
-                             req.issuerGpu);
+    Packet resp = sw.makePacket(PacketType::caisLoadResp, req.issuerGpu);
     resp.addr = req.addr;
     resp.payloadBytes = bytes;
     resp.cookie = req.cookie;
@@ -100,7 +98,7 @@ MergeUnit::issueFetch(GpuId home, Addr addr, std::uint32_t bytes,
     if (bypass && original)
         ctx.original = *original;
 
-    Packet rd = makePacket(PacketType::readReq, sw.nodeId(), home);
+    Packet rd = sw.makePacket(PacketType::readReq, home);
     rd.addr = addr;
     rd.reqBytes = bytes;
     rd.cookie = cookieTagMerge | id;
@@ -228,8 +226,7 @@ MergeUnit::handleRedReq(Packet &&pkt)
                 // unmerged to preserve forward progress.
                 evSt.deferredEvictions.inc();
                 st.unmergedWrites.inc();
-                Packet w = makePacket(PacketType::caisMergedWrite,
-                                      sw.nodeId(), home);
+                Packet w = sw.makePacket(PacketType::caisMergedWrite, home);
                 w.addr = pkt.addr;
                 w.payloadBytes = pkt.payloadBytes;
                 w.kernel = pkt.kernel;
@@ -267,8 +264,7 @@ MergeUnit::handleRedReq(Packet &&pkt)
 void
 MergeUnit::emitMergedWrite(const MergeEntry &e)
 {
-    Packet w = makePacket(PacketType::caisMergedWrite, sw.nodeId(),
-                          e.homeGpu);
+    Packet w = sw.makePacket(PacketType::caisMergedWrite, e.homeGpu);
     w.addr = e.addr;
     w.payloadBytes = e.bytes;
     w.group = e.group;

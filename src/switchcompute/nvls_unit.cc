@@ -18,7 +18,7 @@ NvlsUnit::handleMultimemSt(Packet &&pkt)
     for (GpuId g = 0; g < sw.numGpus(); ++g) {
         if (g == pkt.issuerGpu)
             continue;
-        Packet w = makePacket(PacketType::writeReq, sw.nodeId(), g);
+        Packet w = sw.makePacket(PacketType::writeReq, g);
         w.addr = pkt.addr;
         w.payloadBytes = pkt.payloadBytes;
         w.padBytes = pkt.padBytes;
@@ -31,8 +31,7 @@ NvlsUnit::handleMultimemSt(Packet &&pkt)
     stMulticasts.inc();
 
     // Posted-store ack so the issuing hub can track drain.
-    Packet ack = makePacket(PacketType::writeAck, sw.nodeId(),
-                            pkt.issuerGpu);
+    Packet ack = sw.makePacket(PacketType::writeAck, pkt.issuerGpu);
     ack.addr = pkt.addr;
     ack.cookie = pkt.cookie;
     ack.kernel = pkt.kernel;
@@ -58,7 +57,7 @@ NvlsUnit::handleLdReduceReq(Packet &&pkt)
     // requester's own memory: the gather traverses the switch for all
     // of them, which is how the hardware behaves).
     for (GpuId g = 0; g < s.expected; ++g) {
-        Packet rd = makePacket(PacketType::readReq, sw.nodeId(), g);
+        Packet rd = sw.makePacket(PacketType::readReq, g);
         rd.addr = pkt.addr;
         rd.reqBytes = pkt.reqBytes;
         rd.padResponse = pkt.padResponse;
@@ -82,8 +81,7 @@ NvlsUnit::handleReadResp(Packet &&pkt)
         return;
 
     // All replicas gathered; reduce in-flight and return the result.
-    Packet resp = makePacket(PacketType::multimemLdReduceResp,
-                             sw.nodeId(), s.requester);
+    Packet resp = sw.makePacket(PacketType::multimemLdReduceResp, s.requester);
     resp.addr = s.addr;
     resp.payloadBytes = s.bytes;
     resp.padBytes = s.pad;
@@ -129,7 +127,7 @@ NvlsUnit::handleRed(Packet &&pkt)
     sw.eventQueue().scheduleAfter(p.reduceDelay,
         [this, addr, bytes, kernel, expected] {
         for (GpuId g = 0; g < sw.numGpus(); ++g) {
-            Packet w = makePacket(PacketType::writeReq, sw.nodeId(), g);
+            Packet w = sw.makePacket(PacketType::writeReq, g);
             w.addr = addr;
             w.payloadBytes = bytes;
             w.kernel = kernel;

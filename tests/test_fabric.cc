@@ -14,6 +14,9 @@ using namespace cais;
 namespace
 {
 
+/** File-local packet-id allocator for hand-crafted packets. */
+PacketIdAllocator ids;
+
 struct CountingSink : public PacketSink
 {
     int got = 0;
@@ -47,7 +50,7 @@ TEST(Fabric, ForwardsGpuToGpuThroughHashedSwitch)
         f.attachGpu(g, &sinks[g]);
 
     Addr addr = makeAddr(2, 0x1000);
-    Packet p = makePacket(PacketType::writeReq, 0, 2);
+    Packet p = makePacket(ids, PacketType::writeReq, 0, 2);
     p.addr = addr;
     p.payloadBytes = 512;
     f.sendFromGpu(0, std::move(p));
@@ -74,7 +77,7 @@ TEST(Fabric, MergeableRequestsConvergeOnOneSwitch)
     Addr addr = makeAddr(3, 0x42000);
     SwitchId expect = f.routeAddr(addr);
     for (GpuId g = 0; g < 3; ++g) {
-        Packet p = makePacket(PacketType::writeReq, g, 3);
+        Packet p = makePacket(ids, PacketType::writeReq, g, 3);
         p.addr = addr;
         p.payloadBytes = 64;
         f.sendFromGpu(g, std::move(p));
@@ -97,7 +100,7 @@ TEST(Fabric, SyncTrafficRoutesByGroup)
     SwitchId expect = f.routeGroup(grp);
     // Without a compute handler the packet forwards like unicast; the
     // point under test is the group-hash switch selection.
-    Packet p = makePacket(PacketType::groupSyncReq, 0, 1);
+    Packet p = makePacket(ids, PacketType::groupSyncReq, 0, 1);
     p.group = grp;
     p.expected = 4;
     p.issuerGpu = 0;
@@ -120,7 +123,7 @@ TEST(Fabric, UtilizationAccountsBothDirections)
     f.attachGpu(0, &sinks[0]);
     f.attachGpu(1, &sinks[1]);
 
-    Packet p = makePacket(PacketType::writeReq, 0, 1);
+    Packet p = makePacket(ids, PacketType::writeReq, 0, 1);
     p.addr = makeAddr(1, 0);
     p.payloadBytes = 1 << 16;
     f.sendFromGpu(0, std::move(p));

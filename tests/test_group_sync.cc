@@ -15,6 +15,9 @@ using namespace cais;
 namespace
 {
 
+/** File-local packet-id allocator for hand-crafted packets. */
+PacketIdAllocator ids;
+
 struct SinkStub : public PacketSink
 {
     std::vector<Packet> got;
@@ -59,7 +62,7 @@ struct SyncRig
     void
     reg(GpuId g, GroupId grp, SyncPhase phase, int expected)
     {
-        Packet p = makePacket(PacketType::groupSyncReq, g, 4);
+        Packet p = makePacket(ids, PacketType::groupSyncReq, g, 4);
         p.group = grp;
         p.cookie = static_cast<std::uint64_t>(phase);
         p.expected = expected;

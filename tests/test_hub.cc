@@ -15,6 +15,9 @@ using namespace cais;
 namespace
 {
 
+/** File-local packet-id allocator for hand-crafted packets. */
+PacketIdAllocator ids;
+
 struct HubRig
 {
     SystemConfig sc;
@@ -160,7 +163,7 @@ TEST(Hub, ThrottleHintPausesGroupTraffic)
     // Deliver a synthetic throttle hint for group 7, then submit
     // mergeable traffic of that group: it must not inject before the
     // pause deadline.
-    Packet hint = makePacket(PacketType::throttleHint, 2, 0);
+    Packet hint = makePacket(ids, PacketType::throttleHint, 2, 0);
     hint.group = 7;
     hint.cookie = 5000; // pause cycles
     rig.sys->fabric().switchChip(0).sendToGpu(std::move(hint));

@@ -87,17 +87,33 @@ INSTANTIATE_TEST_SUITE_P(
         PacketType::groupSyncReq, PacketType::groupSyncRelease,
         PacketType::throttleHint));
 
-TEST(PacketIds, MonotoneAndUnique)
+TEST(PacketIds, MonotoneAndUniquePerAllocator)
 {
-    std::uint64_t prev = nextPacketId();
+    PacketIdAllocator ids;
+    std::uint64_t prev = ids.next();
     for (int i = 0; i < 100; ++i) {
-        std::uint64_t id = nextPacketId();
+        std::uint64_t id = ids.next();
         EXPECT_GT(id, prev);
         prev = id;
     }
-    Packet p = makePacket(PacketType::readReq, 0, 1);
-    Packet q = makePacket(PacketType::readReq, 0, 1);
+    Packet p = makePacket(ids, PacketType::readReq, 0, 1);
+    Packet q = makePacket(ids, PacketType::readReq, 0, 1);
     EXPECT_NE(p.id, q.id);
+    EXPECT_EQ(ids.issued(), 103u);
+}
+
+TEST(PacketIds, AllocatorsAreIndependent)
+{
+    // Two simulations alive at once must not perturb each other's
+    // id streams: ids are per-allocator, not process-global.
+    PacketIdAllocator a, b;
+    EXPECT_EQ(a.next(), 1u);
+    EXPECT_EQ(b.next(), 1u);
+    EXPECT_EQ(a.next(), 2u);
+    EXPECT_EQ(b.next(), 2u);
+    a.reset();
+    EXPECT_EQ(a.next(), 1u);
+    EXPECT_EQ(b.next(), 3u);
 }
 
 // --------------------------------------------------------------------

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "common/log.hh"
 #include "common/types.hh"
 
@@ -26,6 +28,29 @@ TEST(Log, LevelsRoundTrip)
     setLogLevel(LogLevel::verbose);
     informVerbose("verbose %d", 2);
     setLogLevel(before);
+}
+
+TEST(Log, ScopedLevelOverridesAndRestores)
+{
+    LogLevel before = logLevel();
+    {
+        ScopedLogLevel quiet(LogLevel::quiet);
+        EXPECT_EQ(logLevel(), LogLevel::quiet);
+        {
+            ScopedLogLevel verbose(LogLevel::verbose);
+            EXPECT_EQ(logLevel(), LogLevel::verbose);
+        }
+        EXPECT_EQ(logLevel(), LogLevel::quiet);
+    }
+    EXPECT_EQ(logLevel(), before);
+    // The override is thread-local: another thread sees the global.
+    {
+        ScopedLogLevel quiet(LogLevel::quiet);
+        LogLevel seen = LogLevel::quiet;
+        std::thread t([&] { seen = logLevel(); });
+        t.join();
+        EXPECT_EQ(seen, before);
+    }
 }
 
 TEST(LogDeathTest, PanicAborts)

@@ -17,6 +17,9 @@ using namespace cais;
 namespace
 {
 
+/** File-local packet-id allocator for hand-crafted packets. */
+PacketIdAllocator ids;
+
 struct HomeStub : public PacketSink
 {
     EventQueue *eq = nullptr;
@@ -32,8 +35,8 @@ struct HomeStub : public PacketSink
     {
         from->returnCredit(vc);
         if (pkt.type == PacketType::readReq && serveReads) {
-            Packet resp = makePacket(PacketType::readResp, id,
-                                     pkt.src);
+            Packet resp = makePacket(ids, PacketType::readResp, id,
+                                          pkt.src);
             resp.addr = pkt.addr;
             resp.payloadBytes = pkt.reqBytes;
             resp.cookie = pkt.cookie;
@@ -81,8 +84,8 @@ struct MergeRig
     Packet
     loadReq(GpuId from, Addr addr, int expected)
     {
-        Packet p = makePacket(PacketType::caisLoadReq, from,
-                              sw->nodeId());
+        Packet p = makePacket(ids, PacketType::caisLoadReq, from,
+                                   sw->nodeId());
         p.addr = addr;
         p.reqBytes = 4096;
         p.expected = expected;
@@ -94,8 +97,8 @@ struct MergeRig
     Packet
     redReq(GpuId from, Addr addr, int expected)
     {
-        Packet p = makePacket(PacketType::caisRedReq, from,
-                              sw->nodeId());
+        Packet p = makePacket(ids, PacketType::caisRedReq, from,
+                                   sw->nodeId());
         p.addr = addr;
         p.payloadBytes = 4096;
         p.expected = expected;

@@ -9,6 +9,9 @@ using namespace cais;
 namespace
 {
 
+/** File-local packet-id allocator for hand-crafted packets. */
+PacketIdAllocator ids;
+
 /** Sink capturing delivered packets; credits return immediately. */
 struct CaptureSink : public PacketSink
 {
@@ -30,7 +33,7 @@ struct CaptureSink : public PacketSink
 Packet
 dataPacket(std::uint32_t payload)
 {
-    Packet p = makePacket(PacketType::writeReq, 0, 1);
+    Packet p = makePacket(ids, PacketType::writeReq, 0, 1);
     p.payloadBytes = payload;
     return p;
 }
@@ -101,7 +104,7 @@ TEST(CreditLink, VcsIsolateBlockedTraffic)
     link.send(dataPacket(100));
     link.send(dataPacket(100));
     // A response-class packet still flows: no HOL across VCs.
-    Packet resp = makePacket(PacketType::readResp, 0, 1);
+    Packet resp = makePacket(ids, PacketType::readResp, 0, 1);
     resp.payloadBytes = 100;
     link.send(std::move(resp));
     eq.runAll();

@@ -15,6 +15,9 @@ using namespace cais;
 namespace
 {
 
+/** File-local packet-id allocator for hand-crafted packets. */
+PacketIdAllocator ids;
+
 struct NvlsGpuStub : public PacketSink
 {
     std::vector<Packet> got;
@@ -26,8 +29,8 @@ struct NvlsGpuStub : public PacketSink
     {
         from->returnCredit(vc);
         if (pkt.type == PacketType::readReq) {
-            Packet resp = makePacket(PacketType::readResp, id,
-                                     pkt.src);
+            Packet resp = makePacket(ids, PacketType::readResp, id,
+                                          pkt.src);
             resp.addr = pkt.addr;
             resp.payloadBytes = pkt.reqBytes;
             if (pkt.padResponse)
@@ -73,7 +76,7 @@ struct NvlsRig
 TEST(NvlsUnit, MulticastStoreReplicatesToPeers)
 {
     NvlsRig rig;
-    Packet st = makePacket(PacketType::multimemSt, 1, 4);
+    Packet st = makePacket(ids, PacketType::multimemSt, 1, 4);
     st.addr = makeAddr(62, 0x1000);
     st.payloadBytes = 4096;
     st.issuerGpu = 1;
@@ -96,7 +99,7 @@ TEST(NvlsUnit, MulticastStoreReplicatesToPeers)
 TEST(NvlsUnit, GatherReduceFetchesAllReplicas)
 {
     NvlsRig rig;
-    Packet ld = makePacket(PacketType::multimemLdReduceReq, 2, 4);
+    Packet ld = makePacket(ids, PacketType::multimemLdReduceReq, 2, 4);
     ld.addr = makeAddr(62, 0x2000);
     ld.reqBytes = 4096;
     ld.expected = 4;
@@ -122,7 +125,7 @@ TEST(NvlsUnit, PushReduceUpdatesAllReplicas)
     NvlsRig rig;
     Addr addr = makeAddr(62, 0x3000);
     for (GpuId g = 0; g < 4; ++g) {
-        Packet red = makePacket(PacketType::multimemRed, g, 4);
+        Packet red = makePacket(ids, PacketType::multimemRed, g, 4);
         red.addr = addr;
         red.payloadBytes = 4096;
         red.expected = 4;
@@ -144,7 +147,7 @@ TEST(NvlsUnitDeathTest, DuplicateRedContributionPanics)
     NvlsRig rig;
     Addr addr = makeAddr(62, 0x4000);
     auto mk = [&] {
-        Packet red = makePacket(PacketType::multimemRed, 0, 4);
+        Packet red = makePacket(ids, PacketType::multimemRed, 0, 4);
         red.addr = addr;
         red.payloadBytes = 64;
         red.expected = 4;

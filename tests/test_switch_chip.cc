@@ -11,6 +11,9 @@ using namespace cais;
 namespace
 {
 
+/** File-local packet-id allocator for hand-crafted packets. */
+PacketIdAllocator ids;
+
 struct GpuStub : public PacketSink
 {
     EventQueue *eq = nullptr;
@@ -80,7 +83,7 @@ struct MiniFabric
 TEST(SwitchChip, ForwardsUnicastToDestination)
 {
     MiniFabric f;
-    Packet p = makePacket(PacketType::writeReq, 0, 1);
+    Packet p = makePacket(ids, PacketType::writeReq, 0, 1);
     p.payloadBytes = 256;
     f.ups[0]->send(std::move(p));
     f.eq.runAll();
@@ -95,11 +98,11 @@ TEST(SwitchChip, ComputeHandlerConsumesItsTraffic)
     SyncEater eater;
     f.sw->setComputeHandler(&eater);
 
-    Packet sync = makePacket(PacketType::groupSyncReq, 0, 2);
+    Packet sync = makePacket(ids, PacketType::groupSyncReq, 0, 2);
     sync.group = 5;
     sync.expected = 2;
     f.ups[0]->send(std::move(sync));
-    Packet data = makePacket(PacketType::writeReq, 0, 1);
+    Packet data = makePacket(ids, PacketType::writeReq, 0, 1);
     data.payloadBytes = 64;
     f.ups[0]->send(std::move(data));
     f.eq.runAll();
@@ -112,7 +115,7 @@ TEST(SwitchChip, ComputeHandlerConsumesItsTraffic)
 TEST(SwitchChip, SendToGpuBypassesForwardingBound)
 {
     MiniFabric f(1);
-    Packet p = makePacket(PacketType::readReq, 2, 1);
+    Packet p = makePacket(ids, PacketType::readReq, 2, 1);
     p.reqBytes = 64;
     f.sw->sendToGpu(std::move(p));
     f.eq.runAll();
@@ -128,11 +131,11 @@ TEST(SwitchChip, HeadOfLineBlockingWithinVcOnly)
     f.gpu1.autoCredit = false;
 
     for (int i = 0; i < 4; ++i) {
-        Packet p = makePacket(PacketType::writeReq, 0, 1);
+        Packet p = makePacket(ids, PacketType::writeReq, 0, 1);
         p.payloadBytes = 900;
         f.ups[0]->send(std::move(p));
     }
-    Packet r = makePacket(PacketType::readResp, 0, 1);
+    Packet r = makePacket(ids, PacketType::readResp, 0, 1);
     r.payloadBytes = 64;
     f.ups[0]->send(std::move(r));
     f.eq.runAll();
@@ -150,7 +153,7 @@ TEST(SwitchChip, PeakInputOccupancyTracksBackpressure)
     MiniFabric f(1);
     f.gpu1.autoCredit = false;
     for (int i = 0; i < 6; ++i) {
-        Packet p = makePacket(PacketType::writeReq, 0, 1);
+        Packet p = makePacket(ids, PacketType::writeReq, 0, 1);
         p.payloadBytes = 128;
         f.ups[0]->send(std::move(p));
     }

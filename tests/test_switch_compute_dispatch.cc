@@ -11,6 +11,9 @@ using namespace cais;
 namespace
 {
 
+/** File-local packet-id allocator for hand-crafted packets. */
+PacketIdAllocator ids;
+
 struct DispatchRig
 {
     EventQueue eq;
@@ -34,7 +37,7 @@ TEST(SwitchCompute, WantsInSwitchTrafficOnly)
     const SwitchComputeComplex &c = *rig.complex;
 
     auto mk = [&](PacketType t, int dst) {
-        Packet p = makePacket(t, 0, dst);
+        Packet p = makePacket(ids, t, 0, dst);
         return p;
     };
 
@@ -57,20 +60,20 @@ TEST(SwitchCompute, ReadRespDispatchByDestination)
     const SwitchComputeComplex &c = *rig.complex;
 
     // Addressed to this switch: a unit fetch response.
-    Packet to_switch = makePacket(PacketType::readResp, 1,
-                                  rig.sw->nodeId());
+    Packet to_switch = makePacket(ids, PacketType::readResp, 1,
+                                       rig.sw->nodeId());
     EXPECT_TRUE(c.wants(to_switch));
 
     // GPU-to-GPU P2P read response: forwarded.
-    Packet p2p = makePacket(PacketType::readResp, 1, 2);
+    Packet p2p = makePacket(ids, PacketType::readResp, 1, 2);
     EXPECT_FALSE(c.wants(p2p));
 }
 
 TEST(SwitchComputeDeathTest, UnknownCookieTagPanics)
 {
     DispatchRig rig;
-    Packet bogus = makePacket(PacketType::readResp, 1,
-                              rig.sw->nodeId());
+    Packet bogus = makePacket(ids, PacketType::readResp, 1,
+                                   rig.sw->nodeId());
     bogus.cookie = 12345; // no unit tag in the top byte
     EXPECT_DEATH(rig.complex->handlePacket(std::move(bogus)),
                  "cookie");
@@ -88,8 +91,8 @@ TEST(SwitchCompute, InstallsItselfAsHandler)
                                              rig.sp.numVcs, 16, 1000);
     rig.sw->attachDownlink(0, down.get());
 
-    Packet sync = makePacket(PacketType::groupSyncReq, 0,
-                             rig.sw->nodeId());
+    Packet sync = makePacket(ids, PacketType::groupSyncReq, 0,
+                                  rig.sw->nodeId());
     sync.group = 1;
     sync.expected = 4;
     sync.issuerGpu = 0;
