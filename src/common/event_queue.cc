@@ -1,9 +1,89 @@
 #include "common/event_queue.hh"
 
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
 #include "common/log.hh"
 
 namespace cais
 {
+
+namespace
+{
+
+constexpr Cycle noCycle = ~0ull;
+
+EventQueue::SchedulerKind
+kindFromEnv()
+{
+    if (const char *env = std::getenv("CAIS_EVENTQ")) {
+        if (std::strcmp(env, "heap") == 0)
+            return EventQueue::SchedulerKind::heap;
+        if (*env != '\0' && std::strcmp(env, "bucketed") != 0)
+            warn("CAIS_EVENTQ=%s not recognized; using bucketed", env);
+    }
+    return EventQueue::SchedulerKind::bucketed;
+}
+
+} // namespace
+
+EventQueue::EventQueue() : EventQueue(kindFromEnv()) {}
+
+EventQueue::EventQueue(SchedulerKind kind) : mode(kind)
+{
+    if (mode == SchedulerKind::bucketed)
+        buckets.resize(nearWindow);
+}
+
+std::uint32_t
+EventQueue::allocSlot()
+{
+    if (freeHead != nilIdx) {
+        std::uint32_t idx = freeHead;
+        freeHead = slotAt(idx).next;
+        return idx;
+    }
+    auto base = static_cast<std::uint32_t>(chunks.size() << chunkShift);
+    chunks.push_back(std::make_unique<Slot[]>(chunkSlots));
+    // Thread all but the first new slot onto the freelist, lowest
+    // index on top so allocation order stays cache-friendly.
+    for (std::size_t i = chunkSlots - 1; i >= 1; --i) {
+        slotAt(base + static_cast<std::uint32_t>(i)).next = freeHead;
+        freeHead = base + static_cast<std::uint32_t>(i);
+    }
+    return base;
+}
+
+void
+EventQueue::markOccupied(std::size_t idx)
+{
+    occupied[idx >> 6] |= 1ull << (idx & 63);
+}
+
+void
+EventQueue::clearOccupied(std::size_t idx)
+{
+    occupied[idx >> 6] &= ~(1ull << (idx & 63));
+}
+
+std::size_t
+EventQueue::nextOccupied(Cycle from) const
+{
+    // Ring order starting at `from`'s bucket equals cycle order
+    // because all in-ring cycles lie in [curTick, curTick + window).
+    std::size_t start = static_cast<std::size_t>(from & bucketMask);
+    std::size_t word = start >> 6;
+    std::uint64_t bits = occupied[word] & (~0ull << (start & 63));
+    for (std::size_t i = 0; i <= bitmapWords; ++i) {
+        if (bits)
+            return (word << 6) + static_cast<std::size_t>(
+                                     std::countr_zero(bits));
+        word = (word + 1) % bitmapWords;
+        bits = occupied[word];
+    }
+    panic("event ring bitmap empty with nearCount=%zu", nearCount);
+}
 
 void
 EventQueue::schedule(Cycle when, Callback cb)
@@ -12,7 +92,28 @@ EventQueue::schedule(Cycle when, Callback cb)
         panic("scheduling event in the past: %llu < %llu",
               static_cast<unsigned long long>(when),
               static_cast<unsigned long long>(curTick));
-    heap.push(Entry{when, nextSeq++, std::move(cb)});
+    std::uint64_t seq = nextSeq++;
+    std::uint32_t idx = allocSlot();
+    Slot &s = slotAt(idx);
+    s.when = when;
+    s.seq = seq;
+    s.next = nilIdx;
+    s.cb = std::move(cb);
+
+    if (mode == SchedulerKind::bucketed && when - curTick < nearWindow) {
+        std::size_t b = static_cast<std::size_t>(when & bucketMask);
+        Fifo &f = buckets[b];
+        if (f.head == nilIdx) {
+            f.head = f.tail = idx;
+            markOccupied(b);
+        } else {
+            slotAt(f.tail).next = idx;
+            f.tail = idx;
+        }
+        ++nearCount;
+    } else {
+        heap.push(HeapKey{when, seq, idx});
+    }
 }
 
 void
@@ -21,18 +122,72 @@ EventQueue::scheduleAfter(Cycle delta, Callback cb)
     schedule(curTick + delta, std::move(cb));
 }
 
+Cycle
+EventQueue::nextWhen() const
+{
+    Cycle th = heap.empty() ? noCycle : heap.top().when;
+    if (nearCount == 0)
+        return th;
+    const Fifo &f = buckets[nextOccupied(curTick)];
+    Cycle tb = slotAt(f.head).when;
+    return tb < th ? tb : th;
+}
+
+std::uint32_t
+EventQueue::popNext()
+{
+    Cycle th = heap.empty() ? noCycle : heap.top().when;
+    Fifo *f = nullptr;
+    std::size_t bi = 0;
+    Cycle tb = noCycle;
+    std::uint64_t sb = 0;
+    if (nearCount != 0) {
+        bi = nextOccupied(curTick);
+        f = &buckets[bi];
+        const Slot &front = slotAt(f->head);
+        tb = front.when;
+        sb = front.seq;
+    }
+
+    // Earliest (when, seq) wins; bucket entries are FIFO in seq and
+    // the heap breaks ties by seq, so comparing the two fronts gives
+    // the global minimum even when a cycle's events are split across
+    // ring and heap (scheduled near vs. scheduled far, then reached).
+    bool from_heap = th != noCycle &&
+                     (tb == noCycle || th < tb ||
+                      (th == tb && heap.top().seq < sb));
+
+    if (from_heap) {
+        std::uint32_t idx = heap.top().idx;
+        heap.pop();
+        return idx;
+    }
+
+    std::uint32_t idx = f->head;
+    f->head = slotAt(idx).next;
+    if (f->head == nilIdx) {
+        f->tail = nilIdx;
+        clearOccupied(bi);
+    }
+    --nearCount;
+    return idx;
+}
+
 bool
 EventQueue::runOne()
 {
-    if (heap.empty())
+    if (empty())
         return false;
-    // Move the callback out before popping so the entry can schedule
-    // further events safely.
-    Entry e = heap.top();
-    heap.pop();
-    curTick = e.when;
+    std::uint32_t idx = popNext();
+    // The slot is detached from both the bucket/heap and the
+    // freelist, and chunk addresses are stable, so the callback runs
+    // in place even if it schedules further events.
+    Slot &s = slotAt(idx);
+    curTick = s.when;
     ++numExecuted;
-    e.cb();
+    s.cb();
+    s.cb.reset();
+    releaseSlot(idx);
     return true;
 }
 
@@ -40,7 +195,7 @@ std::uint64_t
 EventQueue::runUntil(Cycle limit)
 {
     std::uint64_t n = 0;
-    while (!heap.empty() && heap.top().when <= limit) {
+    while (!empty() && nextWhen() <= limit) {
         runOne();
         ++n;
     }
@@ -57,15 +212,23 @@ EventQueue::runAll(std::uint64_t max_events)
     std::uint64_t n = 0;
     while (n < max_events && runOne())
         ++n;
-    if (n == max_events && !heap.empty())
+    if (n == max_events && !empty())
         warn("event budget (%llu) exhausted with %zu events pending",
-             static_cast<unsigned long long>(max_events), heap.size());
+             static_cast<unsigned long long>(max_events), size());
     return n;
 }
 
 void
 EventQueue::reset()
 {
+    // Dropping the chunks runs every pending InlineEvent's destructor.
+    chunks.clear();
+    freeHead = nilIdx;
+    for (Fifo &f : buckets)
+        f = Fifo{};
+    for (std::uint64_t &w : occupied)
+        w = 0;
+    nearCount = 0;
     heap = decltype(heap)();
     curTick = 0;
     nextSeq = 0;

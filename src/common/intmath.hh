@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Integer serialization-time math for bandwidth models.
+ *
+ * Link and HBM bandwidths are configured as double bytes/cycle, but
+ * almost every configured value is a small rational (450/4 = 112.5,
+ * 100.0, ...). SerDivider snaps such values to an exact num/den pair
+ * at construction so the per-packet ceil(bytes / bw) on the wire hot
+ * path is a pure integer ceil-div — no <cmath>, no FP rounding in the
+ * event loop. Irrational or huge values fall back to a float path
+ * that reproduces std::ceil bit-for-bit.
+ */
+
+#ifndef CAIS_COMMON_INTMATH_HH
+#define CAIS_COMMON_INTMATH_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace cais
+{
+
+/** Integer ceil-div of two positive integers. */
+constexpr std::uint64_t
+ceilDiv(std::uint64_t n, std::uint64_t d)
+{
+    return (n + d - 1) / d;
+}
+
+/** Ceil-divides byte counts by a bytes/cycle bandwidth. */
+class SerDivider
+{
+  public:
+    SerDivider() = default;
+
+    explicit SerDivider(double bytes_per_cycle)
+        : bw(bytes_per_cycle), num(0), den(0)
+    {
+        // Snap bw to num/den for small denominators (covers every
+        // config the benches use: integers, halves, quarters, ...).
+        for (std::uint64_t d = 1; d <= 64; ++d) {
+            double scaled = bw * static_cast<double>(d);
+            auto n = static_cast<std::uint64_t>(scaled);
+            if (scaled > 0.0 && scaled < 9.0e15 &&
+                static_cast<double>(n) == scaled) {
+                num = n;
+                den = d;
+                break;
+            }
+        }
+    }
+
+    /**
+     * Cycles to serialize @p bytes: ceil(bytes / bw), identical to
+     * the former std::ceil(double(bytes) / bw) result.
+     */
+    Cycle
+    cycles(std::uint64_t bytes) const
+    {
+        if (den != 0 && bytes <= ~0ull / den)
+            return ceilDiv(bytes * den, num);
+        // Fallback: reproduce std::ceil on the rounded quotient.
+        double q = static_cast<double>(bytes) / bw;
+        auto c = static_cast<Cycle>(q);
+        if (static_cast<double>(c) < q)
+            ++c;
+        return c;
+    }
+
+    /** True when the integer fast path is active. */
+    bool exact() const { return den != 0; }
+
+  private:
+    double bw = 1.0;
+    std::uint64_t num = 1; ///< bw == num / den when den != 0
+    std::uint64_t den = 1;
+};
+
+} // namespace cais
+
+#endif // CAIS_COMMON_INTMATH_HH

@@ -68,11 +68,21 @@ Histogram::percentile(double frac) const
 }
 
 void
+TimeSeries::grow(std::size_t need)
+{
+    // Amortized doubling: a monotonically advancing clock would
+    // otherwise trigger a linear-time resize on nearly every record.
+    if (need > bins.capacity())
+        bins.reserve(std::max(need, bins.capacity() * 2));
+    bins.resize(need, 0.0);
+}
+
+void
 TimeSeries::record(Cycle when, double amount)
 {
     std::size_t idx = static_cast<std::size_t>(when / width);
     if (idx >= bins.size())
-        bins.resize(idx + 1, 0.0);
+        grow(idx + 1);
     bins[idx] += amount;
 }
 
@@ -87,7 +97,7 @@ TimeSeries::recordInterval(Cycle start, Cycle end, double amount)
     std::size_t first = static_cast<std::size_t>(start / width);
     std::size_t last = static_cast<std::size_t>((end - 1) / width);
     if (last >= bins.size())
-        bins.resize(last + 1, 0.0);
+        grow(last + 1);
     for (std::size_t i = first; i <= last; ++i) {
         Cycle bin_lo = static_cast<Cycle>(i) * width;
         Cycle bin_hi = bin_lo + width;

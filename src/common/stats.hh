@@ -132,6 +132,9 @@ class TimeSeries
     const std::vector<double> &data() const { return bins; }
 
   private:
+    /** Extend bins to @p need entries with amortized-doubling growth. */
+    void grow(std::size_t need);
+
     Cycle width;
     std::vector<double> bins;
 };

@@ -1,26 +1,23 @@
 #include "gpu/hbm.hh"
 
-#include <cmath>
-
 #include "common/log.hh"
 
 namespace cais
 {
 
 HbmModel::HbmModel(EventQueue &eq_, double bytes_per_cycle, Cycle latency)
-    : eq(eq_), bw(bytes_per_cycle), lat(latency)
+    : eq(eq_), bw(bytes_per_cycle), serDiv(bytes_per_cycle), lat(latency)
 {
     if (bw <= 0)
         panic("HBM bandwidth must be positive");
 }
 
 void
-HbmModel::access(std::uint64_t bytes_, std::function<void()> done)
+HbmModel::access(std::uint64_t bytes_, EventQueue::Callback done)
 {
     Cycle now = eq.now();
     Cycle start = std::max(now, busyUntil);
-    Cycle ser = static_cast<Cycle>(
-        std::ceil(static_cast<double>(bytes_) / bw));
+    Cycle ser = serDiv.cycles(bytes_);
     if (ser == 0)
         ser = 1;
     busyUntil = start + ser;

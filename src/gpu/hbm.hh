@@ -10,9 +10,8 @@
 #ifndef CAIS_GPU_HBM_HH
 #define CAIS_GPU_HBM_HH
 
-#include <functional>
-
 #include "common/event_queue.hh"
+#include "common/intmath.hh"
 #include "common/stats.hh"
 
 namespace cais
@@ -25,7 +24,7 @@ class HbmModel
     HbmModel(EventQueue &eq, double bytes_per_cycle, Cycle latency);
 
     /** Schedule an access of @p bytes; @p done fires at completion. */
-    void access(std::uint64_t bytes, std::function<void()> done);
+    void access(std::uint64_t bytes, EventQueue::Callback done);
 
     std::uint64_t totalBytes() const { return bytes.value(); }
     std::uint64_t totalAccesses() const { return accesses.value(); }
@@ -34,6 +33,7 @@ class HbmModel
   private:
     EventQueue &eq;
     double bw;
+    SerDivider serDiv;
     Cycle lat;
     Cycle busyUntil = 0;
 

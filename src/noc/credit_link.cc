@@ -1,7 +1,5 @@
 #include "noc/credit_link.hh"
 
-#include <cmath>
-
 #include "common/log.hh"
 
 namespace cais
@@ -11,8 +9,10 @@ CreditLink::CreditLink(EventQueue &eq_, std::string name,
                        double bytes_per_cycle, Cycle latency, int num_vcs,
                        int vc_credits, Cycle util_bin_width)
     : eq(eq_), linkName(std::move(name)), bw(bytes_per_cycle),
-      lat(latency), queues(static_cast<std::size_t>(num_vcs)),
+      serDiv(bytes_per_cycle), lat(latency),
+      queues(static_cast<std::size_t>(num_vcs)),
       creditCount(static_cast<std::size_t>(num_vcs), vc_credits),
+      pendingCredits(static_cast<std::size_t>(num_vcs)),
       arb(num_vcs), util(util_bin_width)
 {
     if (bw <= 0.0)
@@ -32,6 +32,7 @@ CreditLink::send(Packet &&pkt)
     if (vc < 0 || vc >= numVcs())
         panic("link %s: bad VC %d", linkName.c_str(), vc);
     queues[static_cast<std::size_t>(vc)].push_back(std::move(pkt));
+    ++queuedTotal;
     tryIssue();
 }
 
@@ -39,9 +40,19 @@ void
 CreditLink::returnCredit(int vc)
 {
     // The credit travels the reverse channel; charge the link latency
-    // but no serialization (credits ride dedicated wires).
+    // but no serialization (credits ride dedicated wires). Credits for
+    // the same VC freed in the same cycle share one arrival event.
+    auto &pend = pendingCredits[static_cast<std::size_t>(vc)];
+    Cycle at = eq.now() + lat;
+    if (!pend.empty() && pend.back().first == at) {
+        ++pend.back().second;
+        return;
+    }
+    pend.emplace_back(at, 1);
     eq.scheduleAfter(lat, [this, vc] {
-        ++creditCount[static_cast<std::size_t>(vc)];
+        auto &pd = pendingCredits[static_cast<std::size_t>(vc)];
+        creditCount[static_cast<std::size_t>(vc)] += pd.front().second;
+        pd.pop_front();
         tryIssue();
     });
 }
@@ -49,10 +60,7 @@ CreditLink::returnCredit(int vc)
 std::size_t
 CreditLink::totalQueued() const
 {
-    std::size_t n = 0;
-    for (const auto &q : queues)
-        n += q.size();
-    return n;
+    return queuedTotal;
 }
 
 void
@@ -79,10 +87,10 @@ CreditLink::tryIssue()
     auto idx = static_cast<std::size_t>(vc);
     Packet pkt = std::move(queues[idx].front());
     queues[idx].pop_front();
+    --queuedTotal;
     --creditCount[idx];
 
-    Cycle ser = static_cast<Cycle>(
-        std::ceil(static_cast<double>(pkt.wireBytes()) / bw));
+    Cycle ser = serDiv.cycles(pkt.wireBytes());
     if (ser == 0)
         ser = 1;
 
@@ -101,15 +109,30 @@ CreditLink::tryIssue()
     if (!sink)
         panic("link %s has no sink", linkName.c_str());
 
-    // Deliver after serialization plus propagation.
+    // Deliver after serialization plus propagation, moving the payload
+    // into the deliver event (no allocation: InlineEvent holds it).
     Cycle deliver_at = start + ser + lat;
-    // Move the payload into the deliver event.
-    eq.schedule(deliver_at,
-                [this, p = std::move(pkt), vc]() mutable {
+
+    if (deliver_at == busyUntil && !wakeScheduled) {
+        // Zero-latency link: the drain wake would land on the same
+        // cycle directly after the delivery; fold it into one event.
+        wakeScheduled = true;
+        eq.schedule(deliver_at, [this, p = std::move(pkt), vc]() mutable {
+            sink->acceptPacket(std::move(p), this, vc);
+            wakeScheduled = false;
+            tryIssue();
+        });
+        return;
+    }
+
+    eq.schedule(deliver_at, [this, p = std::move(pkt), vc]() mutable {
         sink->acceptPacket(std::move(p), this, vc);
     });
 
-    // Keep draining back-to-back.
+    // Keep draining back-to-back. The wake is armed even when the
+    // queues are momentarily empty: its early seq pins the drain
+    // ahead of same-cycle credit arrivals, which keeps round-robin
+    // arbitration order identical to the original implementation.
     if (!wakeScheduled) {
         wakeScheduled = true;
         eq.schedule(busyUntil, [this] {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/event_queue.hh"
+#include "common/intmath.hh"
 #include "common/stats.hh"
 #include "noc/arbiter.hh"
 #include "noc/packet.hh"
@@ -58,7 +59,11 @@ class CreditLink
     /** Enqueue a packet on its VC; serialization starts when eligible. */
     void send(Packet &&pkt);
 
-    /** Free one receive-buffer slot; the credit flies back upstream. */
+    /**
+     * Free one receive-buffer slot; the credit flies back upstream.
+     * Credits freed for the same VC in the same cycle coalesce into
+     * one arrival event (they ride the same reverse-channel beat).
+     */
     void returnCredit(int vc);
 
     double bytesPerCycle() const { return bw; }
@@ -86,14 +91,21 @@ class CreditLink
     EventQueue &eq;
     std::string linkName;
     double bw;
+    SerDivider serDiv;
     Cycle lat;
 
     std::vector<std::deque<Packet>> queues;
     std::vector<int> creditCount;
+
+    /** In-flight credit batches per VC: (arrival cycle, count), one
+     *  scheduled event per batch, ordered by arrival cycle. */
+    std::vector<std::deque<std::pair<Cycle, int>>> pendingCredits;
+
     RoundRobinArbiter arb;
     PacketSink *sink = nullptr;
     std::function<void(int)> dequeueCb;
 
+    std::size_t queuedTotal = 0;
     Cycle busyUntil = 0;
     bool wakeScheduled = false;
 

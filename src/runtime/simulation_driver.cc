@@ -51,6 +51,7 @@ runGraph(const StrategySpec &spec, const OpGraph &graph,
     r.strategy = spec.name;
     r.workload = workload_name;
     r.makespan = sys.makespan();
+    r.eventsExecuted = sys.eq().executed();
 
     Cycle end = r.makespan ? r.makespan : 1;
     r.avgUtil = sys.fabric().avgUtilization(0, end);

@@ -79,6 +79,9 @@ struct RunResult
 
     Cycle makespan = 0;
 
+    /** Events the simulator executed for this run (perf tracking). */
+    std::uint64_t eventsExecuted = 0;
+
     double avgUtil = 0.0; ///< mean link utilization, both directions
     double upUtil = 0.0;  ///< GPU-to-switch
     double dnUtil = 0.0;  ///< switch-to-GPU

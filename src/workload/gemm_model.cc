@@ -1,7 +1,5 @@
 #include "workload/gemm_model.hh"
 
-#include <cmath>
-
 namespace cais
 {
 

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Determinism regression for the event-core overhaul: the bucketed
+ * scheduler (default) and the legacy single-heap scheduler (behind
+ * CAIS_EVENTQ=heap) implement the same (when, seq) total order, so a
+ * full end-to-end run must produce bit-identical results — makespan,
+ * utilizations, merge-unit counters, per-kernel timings, and a
+ * StatRegistry snapshot of live counters — under either one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "common/stats.hh"
+#include "runtime/execution_strategy.hh"
+#include "runtime/simulation_driver.hh"
+#include "runtime/system.hh"
+#include "workload/transformer.hh"
+
+using namespace cais;
+
+namespace
+{
+
+/** Pin CAIS_EVENTQ while a test body runs. */
+class ScopedEventqEnv
+{
+  public:
+    explicit ScopedEventqEnv(const char *kind)
+    {
+        setenv("CAIS_EVENTQ", kind, 1);
+    }
+    ~ScopedEventqEnv() { unsetenv("CAIS_EVENTQ"); }
+};
+
+RunConfig
+smallConfig()
+{
+    RunConfig cfg;
+    cfg.numGpus = 4;
+    cfg.numSwitches = 2;
+    return cfg;
+}
+
+LlmConfig
+smallModel()
+{
+    LlmConfig m = megaGpt4B().scaled(0.25, 0.25);
+    m.batch = 1;
+    return m;
+}
+
+/** End-to-end run under @p kind, harvested through runGraph. */
+RunResult
+runSmall(const char *kind, const char *strategy, SubLayerId sub)
+{
+    ScopedEventqEnv env(kind);
+    return runGraph(strategyByName(strategy),
+                    buildSubLayer(smallModel(), sub), smallConfig(),
+                    subLayerName(sub));
+}
+
+/**
+ * End-to-end run under @p kind with a live System, snapshotting the
+ * merge-unit counters through a StatRegistry.
+ */
+std::map<std::string, double>
+snapshotSmall(const char *kind)
+{
+    ScopedEventqEnv env(kind);
+    StrategySpec spec = strategyByName("CAIS");
+    OpGraph graph = buildSubLayer(smallModel(), SubLayerId::L2);
+    RunConfig cfg = smallConfig();
+
+    System sys(cfg.toSystemConfig(spec));
+    GraphLowering lowering(sys, graph, spec.opts);
+    lowering.lower();
+    sys.run();
+
+    StatRegistry reg;
+    for (SwitchId s = 0; s < sys.numSwitches(); ++s) {
+        const MergeStats &ms = sys.switchCompute(s).merge().stats();
+        std::string p = "switch" + std::to_string(s) + ".merge.";
+        reg.add(p + "loadReqs", &ms.loadReqs);
+        reg.add(p + "redReqs", &ms.redReqs);
+        reg.add(p + "loadHits", &ms.loadHits);
+        reg.add(p + "redHits", &ms.redHits);
+        reg.add(p + "fetches", &ms.fetches);
+        reg.add(p + "mergedWrites", &ms.mergedWrites);
+        reg.add(p + "unmergedWrites", &ms.unmergedWrites);
+        reg.add(p + "sessionsOpened", &ms.sessionsOpened);
+        reg.add(p + "sessionsClosed", &ms.sessionsClosed);
+    }
+    auto snap = reg.snapshot();
+    snap["makespan"] = static_cast<double>(sys.makespan());
+    snap["events"] = static_cast<double>(sys.eq().executed());
+    return snap;
+}
+
+/** Field-by-field bit equality of two harvested results. */
+void
+expectIdentical(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.eventsExecuted, b.eventsExecuted);
+    EXPECT_EQ(a.avgUtil, b.avgUtil);
+    EXPECT_EQ(a.upUtil, b.upUtil);
+    EXPECT_EQ(a.dnUtil, b.dnUtil);
+    EXPECT_EQ(a.gpuUtil, b.gpuUtil);
+    EXPECT_EQ(a.wireBytes, b.wireBytes);
+    EXPECT_EQ(a.staggerUs, b.staggerUs);
+    EXPECT_EQ(a.staggerSamples, b.staggerSamples);
+    EXPECT_EQ(a.peakMergeBytes, b.peakMergeBytes);
+    EXPECT_EQ(a.mergeLoadReqs, b.mergeLoadReqs);
+    EXPECT_EQ(a.mergeRedReqs, b.mergeRedReqs);
+    EXPECT_EQ(a.mergeLoadHits, b.mergeLoadHits);
+    EXPECT_EQ(a.mergeRedHits, b.mergeRedHits);
+    EXPECT_EQ(a.mergeFetches, b.mergeFetches);
+    EXPECT_EQ(a.lruEvictions, b.lruEvictions);
+    EXPECT_EQ(a.timeoutEvictions, b.timeoutEvictions);
+    EXPECT_EQ(a.throttleHints, b.throttleHints);
+    EXPECT_EQ(a.sessionsClosed, b.sessionsClosed);
+    EXPECT_EQ(a.commKernelCycles, b.commKernelCycles);
+    EXPECT_EQ(a.computeKernelCycles, b.computeKernelCycles);
+    ASSERT_EQ(a.kernels.size(), b.kernels.size());
+    for (std::size_t k = 0; k < a.kernels.size(); ++k) {
+        EXPECT_EQ(a.kernels[k].name, b.kernels[k].name);
+        EXPECT_EQ(a.kernels[k].start, b.kernels[k].start);
+        EXPECT_EQ(a.kernels[k].finish, b.kernels[k].finish);
+    }
+    EXPECT_EQ(a.utilSeries, b.utilSeries);
+}
+
+} // namespace
+
+TEST(EventDeterminism, BucketedMatchesHeapAcrossStrategies)
+{
+    for (const char *strategy : {"CAIS", "SP-NVLS", "LADM"}) {
+        for (SubLayerId sub : {SubLayerId::L1, SubLayerId::L3}) {
+            RunResult bucketed = runSmall("bucketed", strategy, sub);
+            RunResult heap = runSmall("heap", strategy, sub);
+            SCOPED_TRACE(std::string(strategy) + "/" + subLayerName(sub));
+            expectIdentical(bucketed, heap);
+        }
+    }
+}
+
+TEST(EventDeterminism, StatSnapshotsBitIdentical)
+{
+    auto bucketed = snapshotSmall("bucketed");
+    auto heap = snapshotSmall("heap");
+    ASSERT_EQ(bucketed.size(), heap.size());
+    for (const auto &[name, value] : bucketed) {
+        ASSERT_TRUE(heap.count(name)) << name;
+        EXPECT_EQ(value, heap.at(name)) << name;
+    }
+}
+
+TEST(EventDeterminism, RepeatedRunsAreBitIdentical)
+{
+    RunResult first = runSmall("bucketed", "CAIS", SubLayerId::L2);
+    RunResult second = runSmall("bucketed", "CAIS", SubLayerId::L2);
+    expectIdentical(first, second);
+}

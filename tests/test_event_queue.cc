@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "common/event_queue.hh"
 
 using namespace cais;
@@ -96,4 +98,216 @@ TEST(EventQueueDeathTest, SchedulingInThePastPanics)
     eq.schedule(100, [] {});
     eq.runAll();
     EXPECT_DEATH(eq.schedule(50, [] {}), "past");
+}
+
+// ---------------------------------------------------------------------
+// Bucketed-vs-heap scheduler equivalence and boundary behavior.
+// ---------------------------------------------------------------------
+
+/** Both scheduler kinds must produce the same execution order. */
+static std::vector<int>
+runRandomSchedule(EventQueue::SchedulerKind kind, unsigned seed)
+{
+    EventQueue eq(kind);
+    std::vector<int> order;
+    std::mt19937 rng(seed);
+    // Mixed same-cycle bursts, in-window deltas, and far-heap deltas.
+    std::uniform_int_distribution<Cycle> delta(0, 3 * EventQueue::nearWindow);
+    int id = 0;
+    for (int i = 0; i < 64; ++i)
+        eq.schedule(delta(rng), [&order, tag = id++] {
+            order.push_back(tag);
+        });
+    // Self-scheduling events interleave with the static batch.
+    int hops = 0;
+    std::function<void()> chain = [&] {
+        order.push_back(1000 + hops);
+        if (++hops < 256)
+            eq.scheduleAfter(1 + static_cast<Cycle>(hops % 97), chain);
+    };
+    eq.schedule(0, chain);
+    eq.runAll();
+    return order;
+}
+
+TEST(EventQueue, SchedulerKindsAgreeOnRandomSchedule)
+{
+    for (unsigned seed : {1u, 2u, 42u}) {
+        auto bucketed =
+            runRandomSchedule(EventQueue::SchedulerKind::bucketed, seed);
+        auto heap = runRandomSchedule(EventQueue::SchedulerKind::heap, seed);
+        EXPECT_EQ(bucketed, heap) << "seed " << seed;
+    }
+}
+
+TEST(EventQueue, SameCycleFifoAcrossBucketAndHeap)
+{
+    // Events landing on one cycle run in insertion order even when
+    // some were scheduled via the near ring and some via the far
+    // heap (scheduled before time advanced into the window).
+    EventQueue eq(EventQueue::SchedulerKind::bucketed);
+    std::vector<int> order;
+    const Cycle target = 2 * EventQueue::nearWindow;
+    eq.schedule(target, [&] { order.push_back(0); });            // far heap
+    eq.schedule(target - 10, [&] {                               // far heap
+        eq.scheduleAfter(10, [&] { order.push_back(1); });       // near ring
+        eq.schedule(target, [&] { order.push_back(2); });        // near ring
+    });
+    eq.schedule(target, [&] { order.push_back(3); });            // far heap
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 3, 1, 2}));
+}
+
+TEST(EventQueue, BucketWindowBoundaryCrossing)
+{
+    EventQueue eq(EventQueue::SchedulerKind::bucketed);
+    std::vector<Cycle> fired;
+    auto hit = [&] { fired.push_back(eq.now()); };
+    // Straddle the near-window edge: in-window, last in-window
+    // cycle, first out-of-window cycle, and far beyond.
+    eq.schedule(EventQueue::nearWindow - 1, hit);
+    eq.schedule(EventQueue::nearWindow, hit);
+    eq.schedule(EventQueue::nearWindow + 1, hit);
+    eq.schedule(10 * EventQueue::nearWindow, hit);
+    eq.runAll();
+    EXPECT_EQ(fired,
+              (std::vector<Cycle>{EventQueue::nearWindow - 1,
+                                  EventQueue::nearWindow,
+                                  EventQueue::nearWindow + 1,
+                                  10 * EventQueue::nearWindow}));
+}
+
+TEST(EventQueue, RunUntilLeavesFarEventsPending)
+{
+    EventQueue eq(EventQueue::SchedulerKind::bucketed);
+    int near_hits = 0, far_hits = 0;
+    eq.schedule(100, [&] { ++near_hits; });
+    eq.schedule(5 * EventQueue::nearWindow, [&] { ++far_hits; });
+    eq.runUntil(200);
+    EXPECT_EQ(near_hits, 1);
+    EXPECT_EQ(far_hits, 0);
+    EXPECT_EQ(eq.now(), 200u);
+    EXPECT_EQ(eq.size(), 1u);
+    eq.runAll();
+    EXPECT_EQ(far_hits, 1);
+}
+
+TEST(EventQueue, ResetReproducesTieBreaks)
+{
+    EventQueue eq(EventQueue::SchedulerKind::bucketed);
+    auto run = [&] {
+        std::vector<int> order;
+        for (int i = 0; i < 4; ++i)
+            eq.schedule(5, [&order, i] { order.push_back(i); });
+        eq.schedule(2 * EventQueue::nearWindow,
+                    [&order] { order.push_back(99); });
+        eq.runAll();
+        return order;
+    };
+    auto first = run();
+    eq.reset();
+    EXPECT_EQ(eq.executed(), 0u);
+    auto second = run();
+    EXPECT_EQ(first, second);
+}
+
+TEST(EventQueue, KindSelectionFromEnv)
+{
+    setenv("CAIS_EVENTQ", "heap", 1);
+    EXPECT_EQ(EventQueue().kind(), EventQueue::SchedulerKind::heap);
+    setenv("CAIS_EVENTQ", "bucketed", 1);
+    EXPECT_EQ(EventQueue().kind(), EventQueue::SchedulerKind::bucketed);
+    unsetenv("CAIS_EVENTQ");
+    EXPECT_EQ(EventQueue().kind(), EventQueue::SchedulerKind::bucketed);
+}
+
+// ---------------------------------------------------------------------
+// InlineEvent: allocation-free move-only callback storage.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Counts destructor runs to verify InlineEvent lifetime handling. */
+struct DtorCounter
+{
+    int *count;
+    explicit DtorCounter(int *c) : count(c) {}
+    DtorCounter(DtorCounter &&o) noexcept : count(o.count)
+    {
+        o.count = nullptr;
+    }
+    DtorCounter &operator=(DtorCounter &&) = delete;
+    ~DtorCounter()
+    {
+        if (count)
+            ++*count;
+    }
+    void operator()() const {}
+};
+
+} // namespace
+
+TEST(InlineEvent, InvokesStoredCallable)
+{
+    int hits = 0;
+    InlineEvent ev([&hits] { ++hits; });
+    ASSERT_TRUE(static_cast<bool>(ev));
+    ev();
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineEvent, DefaultConstructedIsEmpty)
+{
+    InlineEvent ev;
+    EXPECT_FALSE(static_cast<bool>(ev));
+}
+
+TEST(InlineEvent, MoveTransfersCallableAndEmptiesSource)
+{
+    int hits = 0;
+    InlineEvent a([&hits] { ++hits; });
+    InlineEvent b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    ASSERT_TRUE(static_cast<bool>(b));
+    b();
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineEvent, DestroysStoredCallableExactlyOnce)
+{
+    int dtors = 0;
+    {
+        InlineEvent ev{DtorCounter(&dtors)};
+        InlineEvent moved(std::move(ev));
+        EXPECT_EQ(dtors, 0); // moved-from shells don't count
+    }
+    EXPECT_EQ(dtors, 1);
+}
+
+TEST(InlineEvent, MoveAssignDestroysPreviousCallable)
+{
+    int first = 0, second = 0;
+    InlineEvent ev{DtorCounter(&first)};
+    ev = InlineEvent{DtorCounter(&second)};
+    EXPECT_EQ(first, 1);
+    EXPECT_EQ(second, 0);
+    ev = InlineEvent();
+    EXPECT_EQ(second, 1);
+}
+
+TEST(InlineEvent, HoldsPacketSizedCaptureInline)
+{
+    // The whole point: a capture the size of a Packet plus routing
+    // context must fit the inline buffer (compile-time checked by
+    // the static_asserts in InlineEvent; exercised here at runtime).
+    struct Big
+    {
+        unsigned char blob[96];
+    } big = {};
+    big.blob[95] = 7;
+    int out = 0;
+    InlineEvent ev([big, &out] { out = big.blob[95]; });
+    ev();
+    EXPECT_EQ(out, 7);
 }
