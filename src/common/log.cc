@@ -10,10 +10,15 @@ namespace cais
 
 namespace
 {
+// cais-lint: allow(D4) -- process-wide log verbosity; never read by
+// simulation logic, so it cannot perturb results
 std::atomic<LogLevel> g_level{LogLevel::normal};
 
 /** Innermost ScopedLogLevel override on this thread, if any. */
+// cais-lint: allow(D4) -- thread-local by design: per-run override so
+// parallel sweep jobs do not race on the global level (PR 1)
 thread_local LogLevel t_level = LogLevel::normal;
+// cais-lint: allow(D4) -- companion flag of t_level, same rationale
 thread_local bool t_levelActive = false;
 } // namespace
 

@@ -51,7 +51,20 @@ class CreditLink
                Cycle latency, int num_vcs, int vc_credits,
                Cycle util_bin_width);
 
-    void setSink(PacketSink *s) { sink = s; }
+    /**
+     * Attach the receiving sink. @p tag is an opaque receiver-chosen
+     * id (e.g. the switch input-port index) echoed by sinkTag(), so
+     * sinks can recover which of their links a packet arrived on
+     * without keying a container on the link's address.
+     */
+    void setSink(PacketSink *s, int tag = -1)
+    {
+        sink = s;
+        tag_ = tag;
+    }
+
+    /** Tag registered by the sink, or -1 when none was set. */
+    int sinkTag() const { return tag_; }
 
     /** Notified with the VC index whenever a packet starts the wire. */
     void setDequeueCallback(std::function<void(int)> cb);
@@ -103,6 +116,7 @@ class CreditLink
 
     RoundRobinArbiter arb;
     PacketSink *sink = nullptr;
+    int tag_ = -1;
     std::function<void(int)> dequeueCb;
 
     std::size_t queuedTotal = 0;

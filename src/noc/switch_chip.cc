@@ -25,8 +25,9 @@ void
 SwitchChip::attachUplink(GpuId g, CreditLink *from_gpu)
 {
     inPorts[static_cast<std::size_t>(g)].link = from_gpu;
-    portOf[from_gpu] = g;
-    from_gpu->setSink(this);
+    // The port index rides on the link as its sink tag; keying a map
+    // on the link pointer would order ports by allocation address.
+    from_gpu->setSink(this, g);
 }
 
 void
@@ -41,10 +42,10 @@ SwitchChip::attachDownlink(GpuId g, CreditLink *to_gpu)
 void
 SwitchChip::acceptPacket(Packet &&pkt, CreditLink *from, int vc)
 {
-    auto it = portOf.find(from);
-    if (it == portOf.end())
+    int port = from->sinkTag();
+    if (port < 0 || port >= numGpus() ||
+        inPorts[static_cast<std::size_t>(port)].link != from)
         panic("switch %d: packet from unknown link", switchId);
-    int port = it->second;
     auto &in = inPorts[static_cast<std::size_t>(port)];
     in.vcs[static_cast<std::size_t>(vc)].push(std::move(pkt));
     if (!in.busy[static_cast<std::size_t>(vc)]) {

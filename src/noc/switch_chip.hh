@@ -17,7 +17,6 @@
 #define CAIS_NOC_SWITCH_CHIP_HH
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/event_queue.hh"
@@ -136,7 +135,6 @@ class SwitchChip : public PacketSink
 
     std::vector<InPort> inPorts;
     std::vector<std::unique_ptr<OutputPort>> outPorts;
-    std::unordered_map<const CreditLink *, int> portOf;
 
     /** Heads blocked per (dst GPU, VC class): list of (port, in-vc). */
     std::vector<std::vector<std::vector<std::pair<int, int>>>> waiting;

@@ -27,6 +27,15 @@ struct RunConfig
     int numSwitches = 4;
     GpuParams gpu;
 
+    /**
+     * Master seed of the run. Every random stream in the simulation
+     * derives from it (GPU jitter/skew RNGs as seed + gpuId, the
+     * system-wide request-stagger RNG via an xor fold), so two runs
+     * with equal configs and seeds are bit-identical. The default of
+     * 1 reproduces the historical streams exactly.
+     */
+    std::uint64_t seed = 1;
+
     double perGpuBwPerDir = 450.0; ///< bytes/cycle per direction
     Cycle linkLatency = 250;
 

@@ -1,5 +1,6 @@
 #include "runtime/system.hh"
 
+#include <algorithm>
 #include <memory>
 
 #include "common/log.hh"
@@ -79,7 +80,7 @@ struct System::KernelState
 };
 
 System::System(const SystemConfig &cfg_)
-    : cfg(cfg_), skewRng(0xabcdef12345ull)
+    : cfg(cfg_), skewRng(cfg_.skewSeed)
 {
     cfg.fabric.validate();
     cfg.gpu.validate();
@@ -460,7 +461,16 @@ System::reportDeadlock() const
                                      "%d\n",
                                      g, tile);
         }
-        for (const auto &[key, run] : ks->live) {
+        // Print live TBs in key order, not hash order, so deadlock
+        // reports are reproducible run to run.
+        std::vector<std::uint64_t> liveKeys;
+        liveKeys.reserve(ks->live.size());
+        // cais-lint: allow(D1) -- keys are sorted before any output
+        for (const auto &[key, run] : ks->live)
+            liveKeys.push_back(key);
+        std::sort(liveKeys.begin(), liveKeys.end());
+        for (std::uint64_t key : liveKeys) {
+            const auto &run = ks->live.at(key);
             std::fprintf(stderr, "    live TB: gpu %d idx %d [%s]\n",
                          static_cast<int>(key >> 32),
                          static_cast<int>(key & 0xffffffffu),

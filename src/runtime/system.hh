@@ -74,6 +74,11 @@ struct SystemConfig
     GpuParams gpu;
     InSwitchParams inswitch;
 
+    /** Seed of the request-skew RNG (System::skewRng). Kept separate
+     *  from GpuParams::seed so the two streams never correlate; the
+     *  default reproduces the historical hard-coded stream. */
+    std::uint64_t skewSeed = 0xabcdef12345ull;
+
     /** Event-budget safety valve for run(). */
     std::uint64_t maxEvents = 400ull * 1000 * 1000;
 };

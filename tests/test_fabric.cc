@@ -14,9 +14,6 @@ using namespace cais;
 namespace
 {
 
-/** File-local packet-id allocator for hand-crafted packets. */
-PacketIdAllocator ids;
-
 struct CountingSink : public PacketSink
 {
     int got = 0;
@@ -43,6 +40,7 @@ params(int gpus = 4, int switches = 2)
 
 TEST(Fabric, ForwardsGpuToGpuThroughHashedSwitch)
 {
+    PacketIdAllocator ids;
     EventQueue eq;
     Fabric f(eq, params());
     CountingSink sinks[4];
@@ -65,6 +63,7 @@ TEST(Fabric, ForwardsGpuToGpuThroughHashedSwitch)
 
 TEST(Fabric, MergeableRequestsConvergeOnOneSwitch)
 {
+    PacketIdAllocator ids;
     EventQueue eq;
     Fabric f(eq, params());
     CountingSink sinks[4];
@@ -89,6 +88,7 @@ TEST(Fabric, MergeableRequestsConvergeOnOneSwitch)
 
 TEST(Fabric, SyncTrafficRoutesByGroup)
 {
+    PacketIdAllocator ids;
     EventQueue eq;
     FabricParams fp = params();
     Fabric f(eq, fp);
@@ -117,6 +117,7 @@ TEST(Fabric, SyncTrafficRoutesByGroup)
 
 TEST(Fabric, UtilizationAccountsBothDirections)
 {
+    PacketIdAllocator ids;
     EventQueue eq;
     Fabric f(eq, params(2, 1));
     CountingSink sinks[2];

@@ -15,9 +15,6 @@ using namespace cais;
 namespace
 {
 
-/** File-local packet-id allocator for hand-crafted packets. */
-PacketIdAllocator ids;
-
 struct SinkStub : public PacketSink
 {
     std::vector<Packet> got;
@@ -35,6 +32,7 @@ struct SinkStub : public PacketSink
 
 struct SyncRig
 {
+    PacketIdAllocator ids;
     EventQueue eq;
     SwitchParams sp;
     std::unique_ptr<SwitchChip> sw;

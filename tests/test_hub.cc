@@ -15,9 +15,6 @@ using namespace cais;
 namespace
 {
 
-/** File-local packet-id allocator for hand-crafted packets. */
-PacketIdAllocator ids;
-
 struct HubRig
 {
     SystemConfig sc;
@@ -163,6 +160,7 @@ TEST(Hub, ThrottleHintPausesGroupTraffic)
     // Deliver a synthetic throttle hint for group 7, then submit
     // mergeable traffic of that group: it must not inject before the
     // pause deadline.
+    PacketIdAllocator ids;
     Packet hint = makePacket(ids, PacketType::throttleHint, 2, 0);
     hint.group = 7;
     hint.cookie = 5000; // pause cycles

@@ -17,11 +17,9 @@ using namespace cais;
 namespace
 {
 
-/** File-local packet-id allocator for hand-crafted packets. */
-PacketIdAllocator ids;
-
 struct HomeStub : public PacketSink
 {
+    PacketIdAllocator ids;
     EventQueue *eq = nullptr;
     std::vector<Packet> got;
     /** Auto-respond to readReq fetches after a fixed delay. */
@@ -49,6 +47,7 @@ struct HomeStub : public PacketSink
 
 struct MergeRig
 {
+    PacketIdAllocator ids;
     EventQueue eq;
     SwitchParams sp;
     std::unique_ptr<SwitchChip> sw;

@@ -9,9 +9,6 @@ using namespace cais;
 namespace
 {
 
-/** File-local packet-id allocator for hand-crafted packets. */
-PacketIdAllocator ids;
-
 /** Sink capturing delivered packets; credits return immediately. */
 struct CaptureSink : public PacketSink
 {
@@ -31,7 +28,7 @@ struct CaptureSink : public PacketSink
 };
 
 Packet
-dataPacket(std::uint32_t payload)
+dataPacket(PacketIdAllocator &ids, std::uint32_t payload)
 {
     Packet p = makePacket(ids, PacketType::writeReq, 0, 1);
     p.payloadBytes = payload;
@@ -42,13 +39,14 @@ dataPacket(std::uint32_t payload)
 
 TEST(CreditLink, DeliversAfterSerializationPlusLatency)
 {
+    PacketIdAllocator ids;
     EventQueue eq;
     CreditLink link(eq, "l", 100.0, 250, 8, 4, 1000);
     CaptureSink sink;
     sink.eq = &eq;
     link.setSink(&sink);
 
-    link.send(dataPacket(984)); // wire = 1000 B -> 10 cycles
+    link.send(dataPacket(ids, 984)); // wire = 1000 B -> 10 cycles
     eq.runAll();
     ASSERT_EQ(sink.got.size(), 1u);
     EXPECT_EQ(sink.at[0], 10u + 250u);
@@ -56,6 +54,7 @@ TEST(CreditLink, DeliversAfterSerializationPlusLatency)
 
 TEST(CreditLink, BackToBackSerialization)
 {
+    PacketIdAllocator ids;
     EventQueue eq;
     CreditLink link(eq, "l", 100.0, 0, 8, 8, 1000);
     CaptureSink sink;
@@ -63,7 +62,7 @@ TEST(CreditLink, BackToBackSerialization)
     link.setSink(&sink);
 
     for (int i = 0; i < 3; ++i)
-        link.send(dataPacket(984)); // 10 cycles each
+        link.send(dataPacket(ids, 984)); // 10 cycles each
     eq.runAll();
     ASSERT_EQ(sink.got.size(), 3u);
     EXPECT_EQ(sink.at[0], 10u);
@@ -73,6 +72,7 @@ TEST(CreditLink, BackToBackSerialization)
 
 TEST(CreditLink, CreditsThrottleWhenSinkHoldsBuffers)
 {
+    PacketIdAllocator ids;
     EventQueue eq;
     // 1 credit per VC: the second packet must wait for the credit.
     CreditLink link(eq, "l", 1000.0, 10, 8, 1, 1000);
@@ -81,8 +81,8 @@ TEST(CreditLink, CreditsThrottleWhenSinkHoldsBuffers)
     sink.autoCredit = false;
     link.setSink(&sink);
 
-    link.send(dataPacket(984));
-    link.send(dataPacket(984));
+    link.send(dataPacket(ids, 984));
+    link.send(dataPacket(ids, 984));
     eq.runAll();
     ASSERT_EQ(sink.got.size(), 1u); // stalled without credit
 
@@ -93,6 +93,7 @@ TEST(CreditLink, CreditsThrottleWhenSinkHoldsBuffers)
 
 TEST(CreditLink, VcsIsolateBlockedTraffic)
 {
+    PacketIdAllocator ids;
     EventQueue eq;
     CreditLink link(eq, "l", 1000.0, 10, 8, 1, 1000);
     CaptureSink sink;
@@ -101,8 +102,8 @@ TEST(CreditLink, VcsIsolateBlockedTraffic)
     link.setSink(&sink);
 
     // Fill the reduction VC (credit 1), then block it.
-    link.send(dataPacket(100));
-    link.send(dataPacket(100));
+    link.send(dataPacket(ids, 100));
+    link.send(dataPacket(ids, 100));
     // A response-class packet still flows: no HOL across VCs.
     Packet resp = makePacket(ids, PacketType::readResp, 0, 1);
     resp.payloadBytes = 100;
@@ -114,12 +115,13 @@ TEST(CreditLink, VcsIsolateBlockedTraffic)
 
 TEST(CreditLink, UtilizationAccountsWireBytes)
 {
+    PacketIdAllocator ids;
     EventQueue eq;
     CreditLink link(eq, "l", 100.0, 0, 8, 8, 100);
     CaptureSink sink;
     sink.eq = &eq;
     link.setSink(&sink);
-    link.send(dataPacket(984));
+    link.send(dataPacket(ids, 984));
     eq.runAll();
     EXPECT_EQ(link.totalWireBytes(), 1000u);
     EXPECT_EQ(link.totalPayloadBytes(), 984u);
@@ -130,12 +132,13 @@ TEST(CreditLink, UtilizationAccountsWireBytes)
 
 TEST(CreditLink, PadBytesOccupyWireOnly)
 {
+    PacketIdAllocator ids;
     EventQueue eq;
     CreditLink link(eq, "l", 100.0, 0, 8, 8, 1000);
     CaptureSink sink;
     sink.eq = &eq;
     link.setSink(&sink);
-    Packet p = dataPacket(684);
+    Packet p = dataPacket(ids, 684);
     p.padBytes = 300; // wire = 684 + 300 + 16 = 1000
     link.send(std::move(p));
     eq.runAll();
@@ -145,6 +148,7 @@ TEST(CreditLink, PadBytesOccupyWireOnly)
 
 TEST(CreditLink, DequeueCallbackFiresPerPacket)
 {
+    PacketIdAllocator ids;
     EventQueue eq;
     CreditLink link(eq, "l", 100.0, 5, 8, 8, 1000);
     CaptureSink sink;
@@ -152,8 +156,8 @@ TEST(CreditLink, DequeueCallbackFiresPerPacket)
     link.setSink(&sink);
     int dequeues = 0;
     link.setDequeueCallback([&](int) { ++dequeues; });
-    link.send(dataPacket(100));
-    link.send(dataPacket(100));
+    link.send(dataPacket(ids, 100));
+    link.send(dataPacket(ids, 100));
     eq.runAll();
     EXPECT_EQ(dequeues, 2);
 }

@@ -15,11 +15,9 @@ using namespace cais;
 namespace
 {
 
-/** File-local packet-id allocator for hand-crafted packets. */
-PacketIdAllocator ids;
-
 struct NvlsGpuStub : public PacketSink
 {
+    PacketIdAllocator ids;
     std::vector<Packet> got;
     CreditLink *up = nullptr;
     GpuId id = 0;
@@ -45,6 +43,7 @@ struct NvlsGpuStub : public PacketSink
 
 struct NvlsRig
 {
+    PacketIdAllocator ids;
     EventQueue eq;
     SwitchParams sp;
     std::unique_ptr<SwitchChip> sw;
@@ -76,7 +75,7 @@ struct NvlsRig
 TEST(NvlsUnit, MulticastStoreReplicatesToPeers)
 {
     NvlsRig rig;
-    Packet st = makePacket(ids, PacketType::multimemSt, 1, 4);
+    Packet st = makePacket(rig.ids, PacketType::multimemSt, 1, 4);
     st.addr = makeAddr(62, 0x1000);
     st.payloadBytes = 4096;
     st.issuerGpu = 1;
@@ -99,7 +98,7 @@ TEST(NvlsUnit, MulticastStoreReplicatesToPeers)
 TEST(NvlsUnit, GatherReduceFetchesAllReplicas)
 {
     NvlsRig rig;
-    Packet ld = makePacket(ids, PacketType::multimemLdReduceReq, 2, 4);
+    Packet ld = makePacket(rig.ids, PacketType::multimemLdReduceReq, 2, 4);
     ld.addr = makeAddr(62, 0x2000);
     ld.reqBytes = 4096;
     ld.expected = 4;
@@ -125,7 +124,7 @@ TEST(NvlsUnit, PushReduceUpdatesAllReplicas)
     NvlsRig rig;
     Addr addr = makeAddr(62, 0x3000);
     for (GpuId g = 0; g < 4; ++g) {
-        Packet red = makePacket(ids, PacketType::multimemRed, g, 4);
+        Packet red = makePacket(rig.ids, PacketType::multimemRed, g, 4);
         red.addr = addr;
         red.payloadBytes = 4096;
         red.expected = 4;
@@ -147,7 +146,7 @@ TEST(NvlsUnitDeathTest, DuplicateRedContributionPanics)
     NvlsRig rig;
     Addr addr = makeAddr(62, 0x4000);
     auto mk = [&] {
-        Packet red = makePacket(ids, PacketType::multimemRed, 0, 4);
+        Packet red = makePacket(rig.ids, PacketType::multimemRed, 0, 4);
         red.addr = addr;
         red.payloadBytes = 64;
         red.expected = 4;

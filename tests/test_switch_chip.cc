@@ -11,9 +11,6 @@ using namespace cais;
 namespace
 {
 
-/** File-local packet-id allocator for hand-crafted packets. */
-PacketIdAllocator ids;
-
 struct GpuStub : public PacketSink
 {
     EventQueue *eq = nullptr;
@@ -50,6 +47,7 @@ struct SyncEater : public SwitchComputeHandler
 /** Two GPUs attached to one switch via credit links. */
 struct MiniFabric
 {
+    PacketIdAllocator ids;
     EventQueue eq;
     SwitchParams sp;
     std::unique_ptr<SwitchChip> sw;
@@ -83,7 +81,7 @@ struct MiniFabric
 TEST(SwitchChip, ForwardsUnicastToDestination)
 {
     MiniFabric f;
-    Packet p = makePacket(ids, PacketType::writeReq, 0, 1);
+    Packet p = makePacket(f.ids, PacketType::writeReq, 0, 1);
     p.payloadBytes = 256;
     f.ups[0]->send(std::move(p));
     f.eq.runAll();
@@ -98,11 +96,11 @@ TEST(SwitchChip, ComputeHandlerConsumesItsTraffic)
     SyncEater eater;
     f.sw->setComputeHandler(&eater);
 
-    Packet sync = makePacket(ids, PacketType::groupSyncReq, 0, 2);
+    Packet sync = makePacket(f.ids, PacketType::groupSyncReq, 0, 2);
     sync.group = 5;
     sync.expected = 2;
     f.ups[0]->send(std::move(sync));
-    Packet data = makePacket(ids, PacketType::writeReq, 0, 1);
+    Packet data = makePacket(f.ids, PacketType::writeReq, 0, 1);
     data.payloadBytes = 64;
     f.ups[0]->send(std::move(data));
     f.eq.runAll();
@@ -115,7 +113,7 @@ TEST(SwitchChip, ComputeHandlerConsumesItsTraffic)
 TEST(SwitchChip, SendToGpuBypassesForwardingBound)
 {
     MiniFabric f(1);
-    Packet p = makePacket(ids, PacketType::readReq, 2, 1);
+    Packet p = makePacket(f.ids, PacketType::readReq, 2, 1);
     p.reqBytes = 64;
     f.sw->sendToGpu(std::move(p));
     f.eq.runAll();
@@ -131,11 +129,11 @@ TEST(SwitchChip, HeadOfLineBlockingWithinVcOnly)
     f.gpu1.autoCredit = false;
 
     for (int i = 0; i < 4; ++i) {
-        Packet p = makePacket(ids, PacketType::writeReq, 0, 1);
+        Packet p = makePacket(f.ids, PacketType::writeReq, 0, 1);
         p.payloadBytes = 900;
         f.ups[0]->send(std::move(p));
     }
-    Packet r = makePacket(ids, PacketType::readResp, 0, 1);
+    Packet r = makePacket(f.ids, PacketType::readResp, 0, 1);
     r.payloadBytes = 64;
     f.ups[0]->send(std::move(r));
     f.eq.runAll();
@@ -153,7 +151,7 @@ TEST(SwitchChip, PeakInputOccupancyTracksBackpressure)
     MiniFabric f(1);
     f.gpu1.autoCredit = false;
     for (int i = 0; i < 6; ++i) {
-        Packet p = makePacket(ids, PacketType::writeReq, 0, 1);
+        Packet p = makePacket(f.ids, PacketType::writeReq, 0, 1);
         p.payloadBytes = 128;
         f.ups[0]->send(std::move(p));
     }

@@ -11,11 +11,9 @@ using namespace cais;
 namespace
 {
 
-/** File-local packet-id allocator for hand-crafted packets. */
-PacketIdAllocator ids;
-
 struct DispatchRig
 {
+    PacketIdAllocator ids;
     EventQueue eq;
     SwitchParams sp;
     std::unique_ptr<SwitchChip> sw;
@@ -37,7 +35,7 @@ TEST(SwitchCompute, WantsInSwitchTrafficOnly)
     const SwitchComputeComplex &c = *rig.complex;
 
     auto mk = [&](PacketType t, int dst) {
-        Packet p = makePacket(ids, t, 0, dst);
+        Packet p = makePacket(rig.ids, t, 0, dst);
         return p;
     };
 
@@ -60,19 +58,19 @@ TEST(SwitchCompute, ReadRespDispatchByDestination)
     const SwitchComputeComplex &c = *rig.complex;
 
     // Addressed to this switch: a unit fetch response.
-    Packet to_switch = makePacket(ids, PacketType::readResp, 1,
+    Packet to_switch = makePacket(rig.ids, PacketType::readResp, 1,
                                        rig.sw->nodeId());
     EXPECT_TRUE(c.wants(to_switch));
 
     // GPU-to-GPU P2P read response: forwarded.
-    Packet p2p = makePacket(ids, PacketType::readResp, 1, 2);
+    Packet p2p = makePacket(rig.ids, PacketType::readResp, 1, 2);
     EXPECT_FALSE(c.wants(p2p));
 }
 
 TEST(SwitchComputeDeathTest, UnknownCookieTagPanics)
 {
     DispatchRig rig;
-    Packet bogus = makePacket(ids, PacketType::readResp, 1,
+    Packet bogus = makePacket(rig.ids, PacketType::readResp, 1,
                                    rig.sw->nodeId());
     bogus.cookie = 12345; // no unit tag in the top byte
     EXPECT_DEATH(rig.complex->handlePacket(std::move(bogus)),
@@ -91,7 +89,7 @@ TEST(SwitchCompute, InstallsItselfAsHandler)
                                              rig.sp.numVcs, 16, 1000);
     rig.sw->attachDownlink(0, down.get());
 
-    Packet sync = makePacket(ids, PacketType::groupSyncReq, 0,
+    Packet sync = makePacket(rig.ids, PacketType::groupSyncReq, 0,
                                   rig.sw->nodeId());
     sync.group = 1;
     sync.expected = 4;

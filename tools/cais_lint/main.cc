@@ -1,0 +1,209 @@
+/**
+ * @file
+ * cais-lint command-line driver.
+ *
+ *   cais_lint [--root DIR] [--baseline FILE] [--write-baseline FILE]
+ *             [--d4-allow SUBSTR]... [--list-rules] [paths...]
+ *
+ * With no paths, lints src/, bench/ and tests/ under --root (default:
+ * the current directory). Exit status: 0 clean, 1 findings, 2 usage
+ * or I/O error.
+ */
+
+#include "lint.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+using namespace cais::lint;
+
+namespace
+{
+
+bool
+lintableFile(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" || ext == ".hpp" ||
+           ext == ".h";
+}
+
+/** Collect lintable files under @p p (file or directory), sorted. */
+bool
+collect(const fs::path &p, std::vector<fs::path> &out)
+{
+    std::error_code ec;
+    if (fs::is_regular_file(p, ec)) {
+        out.push_back(p);
+        return true;
+    }
+    if (!fs::is_directory(p, ec)) {
+        std::fprintf(stderr, "cais_lint: no such file or directory: %s\n",
+                     p.string().c_str());
+        return false;
+    }
+    for (fs::recursive_directory_iterator it(p, ec), end; it != end;
+         it.increment(ec)) {
+        if (ec)
+            break;
+        if (it->is_regular_file(ec) && lintableFile(it->path()))
+            out.push_back(it->path());
+    }
+    return true;
+}
+
+bool
+readFile(const fs::path &p, std::string &out)
+{
+    std::ifstream in(p, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--root DIR] [--baseline FILE] [--write-baseline FILE]\n"
+        "          [--d4-allow SUBSTR]... [--list-rules] [paths...]\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fs::path root = ".";
+    std::string baselinePath, writeBaselinePath;
+    std::vector<std::string> paths;
+    Options opts;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto nextArg = [&](std::string &dst) {
+            if (i + 1 >= argc)
+                return false;
+            dst = argv[++i];
+            return true;
+        };
+        if (a == "--list-rules") {
+            for (const RuleInfo &r : ruleTable())
+                std::printf("%s  %s\n    fix: %s\n", r.id, r.summary,
+                            r.hint);
+            return 0;
+        } else if (a == "--root") {
+            std::string v;
+            if (!nextArg(v))
+                return usage(argv[0]);
+            root = v;
+        } else if (a == "--baseline") {
+            if (!nextArg(baselinePath))
+                return usage(argv[0]);
+        } else if (a == "--write-baseline") {
+            if (!nextArg(writeBaselinePath))
+                return usage(argv[0]);
+        } else if (a == "--d4-allow") {
+            std::string v;
+            if (!nextArg(v))
+                return usage(argv[0]);
+            opts.d4Whitelist.push_back(v);
+        } else if (!a.empty() && a[0] == '-') {
+            return usage(argv[0]);
+        } else {
+            paths.push_back(a);
+        }
+    }
+    std::error_code rootEc;
+    if (!fs::is_directory(root, rootEc)) {
+        std::fprintf(stderr, "cais_lint: --root is not a directory: %s\n",
+                     root.string().c_str());
+        return 2;
+    }
+
+    // Default directories are best-effort (a tree may lack bench/);
+    // an explicitly named path that is missing is an error.
+    bool defaults = paths.empty();
+    if (defaults)
+        paths = {"src", "bench", "tests"};
+
+    std::vector<fs::path> files;
+    for (const std::string &p : paths) {
+        std::error_code ec;
+        if (defaults && !fs::exists(root / p, ec))
+            continue;
+        if (!collect(root / p, files))
+            return 2;
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    Linter linter;
+    for (const fs::path &f : files) {
+        std::string content;
+        if (!readFile(f, content)) {
+            std::fprintf(stderr, "cais_lint: cannot read %s\n",
+                         f.string().c_str());
+            return 2;
+        }
+        // Report paths relative to the root so baselines are
+        // machine-independent.
+        std::error_code ec;
+        fs::path rel = fs::relative(f, root, ec);
+        linter.addSource((ec ? f : rel).generic_string(),
+                         std::move(content));
+    }
+
+    std::vector<Finding> findings = linter.run(opts);
+
+    if (!writeBaselinePath.empty()) {
+        std::ofstream out(writeBaselinePath, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "cais_lint: cannot write %s\n",
+                         writeBaselinePath.c_str());
+            return 2;
+        }
+        out << writeBaseline(findings);
+        std::printf("cais_lint: wrote %zu finding(s) to %s\n",
+                    findings.size(), writeBaselinePath.c_str());
+        return 0;
+    }
+
+    if (!baselinePath.empty()) {
+        std::string text;
+        if (!readFile(baselinePath, text)) {
+            std::fprintf(stderr, "cais_lint: cannot read baseline %s\n",
+                         baselinePath.c_str());
+            return 2;
+        }
+        int stale = applyBaseline(findings, text);
+        if (stale > 0)
+            std::fprintf(stderr,
+                         "cais_lint: note: %d stale baseline entr%s "
+                         "(fixed findings; consider regenerating)\n",
+                         stale, stale == 1 ? "y" : "ies");
+    }
+
+    for (const Finding &f : findings)
+        std::printf("%s\n", formatFinding(f).c_str());
+
+    if (findings.empty()) {
+        std::printf("cais_lint: %zu file(s) clean\n", files.size());
+        return 0;
+    }
+    std::printf("cais_lint: %zu new finding(s) in %zu file(s)\n",
+                findings.size(), files.size());
+    return 1;
+}
