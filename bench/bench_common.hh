@@ -65,6 +65,17 @@ struct BenchArgs
             "skew_us",
             static_cast<std::int64_t>(cfg.gpu.maxStartSkew /
                                       cyclesPerUs))) * cyclesPerUs;
+        // Observability knobs (DESIGN.md §6d): --seed=<n> reseeds
+        // every random stream, --trace=<path> writes the Perfetto
+        // trace, --metrics=<path> the JSON run report. Multi-job
+        // benches uniquify the paths per job (see sweep()).
+        cfg.seed = static_cast<std::uint64_t>(params.getInt(
+            "seed", static_cast<std::int64_t>(cfg.seed)));
+        cfg.tracePath = params.getString("trace", "");
+        cfg.metricsPath = params.getString("metrics", "");
+        cfg.traceSampleCycles = static_cast<Cycle>(params.getInt(
+            "trace_sample",
+            static_cast<std::int64_t>(cfg.traceSampleCycles)));
         return cfg;
     }
 
@@ -102,10 +113,31 @@ addJob(std::vector<SweepJob> &jobs, StrategySpec spec, OpGraph graph,
                                 std::move(workload)));
 }
 
-/** Run a queued grid on the default (CAIS_JOBS-sized) pool. */
-inline std::vector<RunResult>
-sweep(const std::vector<SweepJob> &jobs)
+/** "out.json" + index 2 -> "out.2.json"; index 0 keeps the name, so
+ *  single-job benches write exactly the path the user gave. */
+inline std::string
+uniquifyPath(const std::string &path, std::size_t index)
 {
+    if (path.empty() || index == 0)
+        return path;
+    std::string suffix = "." + std::to_string(index);
+    auto dot = path.rfind('.');
+    if (dot == std::string::npos || dot == 0)
+        return path + suffix;
+    return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
+/** Run a queued grid on the default (CAIS_JOBS-sized) pool. Trace
+ *  and metrics output paths are uniquified per job index so a grid
+ *  bench run with --trace/--metrics does not overwrite itself. */
+inline std::vector<RunResult>
+sweep(std::vector<SweepJob> jobs)
+{
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        jobs[i].cfg.tracePath = uniquifyPath(jobs[i].cfg.tracePath, i);
+        jobs[i].cfg.metricsPath =
+            uniquifyPath(jobs[i].cfg.metricsPath, i);
+    }
     return runSweep(jobs);
 }
 

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Structured run report (DESIGN.md §6d): one schema-versioned JSON
+ * document per run carrying the configuration echo, the harvested
+ * RunResult scalars, the full metric tree and the kernel timeline.
+ * tools/cais_report loads these for summary tables and A/B diffs.
+ */
+
+#ifndef CAIS_ANALYSIS_REPORT_HH
+#define CAIS_ANALYSIS_REPORT_HH
+
+#include <string>
+
+#include "common/metrics.hh"
+#include "runtime/simulation_driver.hh"
+
+namespace cais
+{
+
+/** Schema tag written into (and expected from) every report. */
+inline constexpr const char *metricsSchemaVersion = "cais-metrics-v1";
+
+/** Render the report document (see file comment for the layout). */
+std::string renderMetricsReport(const RunConfig &cfg,
+                                const RunResult &r,
+                                const MetricSnapshot &snap);
+
+/** Write renderMetricsReport to @p path; false on I/O failure. */
+bool writeMetricsReport(const std::string &path, const RunConfig &cfg,
+                        const RunResult &r, const MetricSnapshot &snap);
+
+} // namespace cais
+
+#endif // CAIS_ANALYSIS_REPORT_HH

@@ -1,7 +1,8 @@
 #include "analysis/trace.hh"
 
 #include <cstdio>
-#include <sstream>
+
+#include "common/json.hh"
 
 namespace cais
 {
@@ -87,57 +88,45 @@ TraceCollector::nameProcess(int pid, const std::string &name)
 }
 
 std::string
-TraceCollector::escape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out.push_back('\\');
-        out.push_back(c);
-    }
-    return out;
-}
-
-std::string
 TraceCollector::toJson() const
 {
-    std::ostringstream os;
-    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
-    bool first = true;
+    // Trace-event time is microseconds; simulation cycles are ns.
+    JsonWriter w;
+    w.beginObject();
+    w.field("displayTimeUnit", "ns");
+    w.key("traceEvents").beginArray();
     for (const Event &e : events) {
-        if (!first)
-            os << ",";
-        first = false;
-        os << "\n{\"ph\":\"" << e.phase << "\",\"pid\":" << e.pid
-           << ",\"tid\":" << e.tid << ",\"ts\":"
-           << static_cast<double>(e.ts) / 1000.0; // us in trace time
+        w.beginObject();
+        w.field("ph", std::string(1, e.phase));
+        w.field("pid", e.pid).field("tid", e.tid);
+        w.field("ts", static_cast<double>(e.ts) / 1000.0);
         switch (e.phase) {
           case 'X':
-            os << ",\"dur\":" << static_cast<double>(e.dur) / 1000.0
-               << ",\"name\":\"" << escape(e.name) << "\",\"cat\":\""
-               << escape(e.category) << "\"";
+            w.field("dur", static_cast<double>(e.dur) / 1000.0);
+            w.field("name", e.name).field("cat", e.category);
             break;
           case 'i':
-            os << ",\"s\":\"t\",\"name\":\"" << escape(e.name)
-               << "\",\"cat\":\"" << escape(e.category) << "\"";
+            w.field("s", "t");
+            w.field("name", e.name).field("cat", e.category);
             break;
           case 'C':
-            os << ",\"name\":\"" << escape(e.name)
-               << "\",\"args\":{\"value\":" << e.value << "}";
+            w.field("name", e.name);
+            w.key("args").beginObject()
+                .field("value", e.value).endObject();
             break;
           case 'M':
-            os << ",\"name\":\"" << escape(e.name)
-               << "\",\"args\":{\"name\":\"" << escape(e.metaValue)
-               << "\"}";
+            w.field("name", e.name);
+            w.key("args").beginObject()
+                .field("name", e.metaValue).endObject();
             break;
           default:
             break;
         }
-        os << "}";
+        w.endObject();
     }
-    os << "\n]}\n";
-    return os.str();
+    w.endArray();
+    w.endObject();
+    return w.str();
 }
 
 bool

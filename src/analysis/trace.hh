@@ -68,8 +68,6 @@ class TraceCollector
         std::string metaValue; // M only
     };
 
-    static std::string escape(const std::string &s);
-
     std::vector<Event> events;
 };
 

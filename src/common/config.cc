@@ -19,10 +19,15 @@ Params::fromArgs(int argc, char **argv)
 bool
 Params::parseToken(const std::string &token)
 {
-    auto eq = token.find('=');
-    if (eq == std::string::npos || eq == 0)
+    // Accept "--key=value" as a synonym for "key=value" so the bench
+    // flags read naturally on the command line.
+    std::size_t start = 0;
+    while (start < token.size() && token[start] == '-')
+        ++start;
+    auto eq = token.find('=', start);
+    if (eq == std::string::npos || eq == start)
         return false;
-    set(token.substr(0, eq), token.substr(eq + 1));
+    set(token.substr(start, eq - start), token.substr(eq + 1));
     return true;
 }
 

@@ -24,7 +24,8 @@ class Params
     /** Parse argv entries of the form key=value; others are ignored. */
     static Params fromArgs(int argc, char **argv);
 
-    /** Parse one "key=value" token; returns false if malformed. */
+    /** Parse one "key=value" (or "--key=value") token; returns false
+     *  if malformed. */
     bool parseToken(const std::string &token);
 
     void set(const std::string &key, const std::string &value);

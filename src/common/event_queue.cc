@@ -183,6 +183,8 @@ EventQueue::runOne()
     // freelist, and chunk addresses are stable, so the callback runs
     // in place even if it schedules further events.
     Slot &s = slotAt(idx);
+    if (s.when >= nextObsAt)
+        runObserver(s.when);
     curTick = s.when;
     ++numExecuted;
     s.cb();
@@ -219,6 +221,34 @@ EventQueue::runAll(std::uint64_t max_events)
 }
 
 void
+EventQueue::setPeriodicObserver(Cycle period,
+                                std::function<void(Cycle)> fn)
+{
+    if (period == 0 || !fn) {
+        obsPeriod = 0;
+        nextObsAt = obsDisabled;
+        observer = nullptr;
+        return;
+    }
+    obsPeriod = period;
+    observer = std::move(fn);
+    // First sample strictly after the current time, aligned to the
+    // period grid.
+    nextObsAt = (curTick / period + 1) * period;
+}
+
+void
+EventQueue::runObserver(Cycle when)
+{
+    // Outside the event stream: numExecuted and curTick untouched
+    // until the caller proceeds with the event that triggered us.
+    while (nextObsAt <= when) {
+        observer(nextObsAt);
+        nextObsAt += obsPeriod;
+    }
+}
+
+void
 EventQueue::reset()
 {
     // Dropping the chunks runs every pending InlineEvent's destructor.
@@ -233,6 +263,8 @@ EventQueue::reset()
     curTick = 0;
     nextSeq = 0;
     numExecuted = 0;
+    if (obsPeriod != 0)
+        nextObsAt = obsPeriod; // re-align the sample grid to t=0
 }
 
 } // namespace cais

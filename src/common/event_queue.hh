@@ -28,6 +28,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <new>
 #include <queue>
@@ -200,6 +201,21 @@ class EventQueue
     /** Total number of events executed since construction. */
     std::uint64_t executed() const { return numExecuted; }
 
+    /**
+     * Install a non-perturbing periodic observer: as simulated time
+     * advances past each multiple of @p period, @p fn is invoked with
+     * that sample cycle *outside* the event stream — the call is not
+     * an event, does not count toward executed(), and fires before
+     * the events of the cycle it lands on, so the observed state is
+     * exactly the state of the open interval ending at the sample
+     * point. The observer must not schedule events or mutate
+     * simulation state (it exists for trace/metric sampling; see
+     * DESIGN.md §6d). A @p period of 0 removes the observer. Only one
+     * observer is supported; installing replaces the previous one.
+     */
+    void setPeriodicObserver(Cycle period,
+                             std::function<void(Cycle)> fn);
+
     /** Scheduler implementation in use. */
     SchedulerKind kind() const { return mode; }
 
@@ -320,6 +336,17 @@ class EventQueue
     Cycle curTick = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t numExecuted = 0;
+
+    // Periodic observer (trace sampling). nextObsAt stays at ~0ull
+    // when disabled so the hot path pays a single always-false
+    // comparison.
+    static constexpr Cycle obsDisabled = ~0ull;
+    Cycle obsPeriod = 0;
+    Cycle nextObsAt = obsDisabled;
+    std::function<void(Cycle)> observer;
+
+    /** Fire the observer for every sample point in (curTick, when]. */
+    void runObserver(Cycle when);
 };
 
 } // namespace cais

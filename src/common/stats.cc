@@ -45,8 +45,13 @@ double
 Histogram::percentile(double frac) const
 {
     if (acc.count() == 0)
-        return 0.0;
-    frac = std::clamp(frac, 0.0, 1.0);
+        return lo; // documented zero-sample value: the range start
+    // Clamp into [0, 1]; written so a NaN frac falls through to 0
+    // (std::clamp propagates NaN).
+    if (!(frac >= 0.0))
+        frac = 0.0;
+    if (frac > 1.0)
+        frac = 1.0;
     double target = frac * static_cast<double>(acc.count());
     double seen = 0.0;
     for (std::size_t i = 0; i < counts.size(); ++i) {

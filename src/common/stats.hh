@@ -36,7 +36,14 @@ class Counter
     std::uint64_t val = 0;
 };
 
-/** Running mean/min/max accumulator over double samples. */
+/**
+ * Running mean/min/max accumulator over double samples.
+ *
+ * Zero-sample behaviour is defined and NaN-free: mean(), min() and
+ * max() all return 0.0 (not +/-infinity, not NaN) until the first
+ * sample arrives, so downstream report writers can serialize any
+ * accumulator without guarding.
+ */
 class Accumulator
 {
   public:
@@ -87,7 +94,14 @@ class Histogram
     double min() const { return acc.min(); }
     double max() const { return acc.max(); }
 
-    /** Value below which @p frac of samples fall (bin-interpolated). */
+    /**
+     * Value below which @p frac of samples fall (bin-interpolated).
+     *
+     * Defined, NaN-free edge cases: with zero samples the range start
+     * `lo` is returned; @p frac is clamped into [0, 1], and a NaN
+     * @p frac behaves like 0. Samples in the underflow/overflow bins
+     * resolve to `lo` / `hi` (the bins carry no interior position).
+     */
     double percentile(double frac) const;
 
     const std::vector<std::uint64_t> &binCounts() const { return counts; }

@@ -43,6 +43,16 @@ class GpuCore
     /** Context handed to thread blocks executing on this GPU. */
     TbRunContext tbContext(int num_gpus);
 
+    /** Register every sub-component under prefix.{hub,hbm,sched,sync}. */
+    void
+    registerMetrics(MetricRegistry &reg, const std::string &prefix) const
+    {
+        hubImpl.registerMetrics(reg, prefix + ".hub");
+        hubImpl.hbm().registerMetrics(reg, prefix + ".hbm");
+        sched.registerMetrics(reg, prefix + ".sched");
+        syncImpl.registerMetrics(reg, prefix + ".sync");
+    }
+
   private:
     GpuId gpuId;
     GpuParams p;

@@ -12,13 +12,14 @@
 
 #include "common/event_queue.hh"
 #include "common/intmath.hh"
+#include "common/metrics.hh"
 #include "common/stats.hh"
 
 namespace cais
 {
 
 /** A single bandwidth-serialized memory channel with fixed latency. */
-class HbmModel
+class HbmModel : public Probe
 {
   public:
     HbmModel(EventQueue &eq, double bytes_per_cycle, Cycle latency);
@@ -29,6 +30,15 @@ class HbmModel
     std::uint64_t totalBytes() const { return bytes.value(); }
     std::uint64_t totalAccesses() const { return accesses.value(); }
     Cycle busyCycles() const { return busy; }
+
+    void
+    registerMetrics(MetricRegistry &reg,
+                    const std::string &prefix) const override
+    {
+        reg.addCounter(prefix + ".bytes", &bytes);
+        reg.addCounter(prefix + ".accesses", &accesses);
+        reg.addGaugeU64(prefix + ".busyCycles", [this] { return busy; });
+    }
 
   private:
     EventQueue &eq;

@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.hh"
 #include "common/stats.hh"
 #include "gpu/gpu_config.hh"
 #include "gpu/hbm.hh"
@@ -76,7 +77,7 @@ struct HubJob
 };
 
 /** The per-GPU fabric endpoint. */
-class GpuHub : public PacketSink
+class GpuHub : public PacketSink, public Probe
 {
   public:
     GpuHub(EventQueue &eq, Fabric &fabric, GpuId gpu,
@@ -99,6 +100,7 @@ class GpuHub : public PacketSink
 
     GpuId gpuId() const { return gpu; }
     HbmModel &hbm() { return mem; }
+    const HbmModel &hbm() const { return mem; }
 
     int inflight() const { return inflightChunks; }
     std::size_t queuedJobs() const { return issueQueue.size(); }
@@ -109,6 +111,16 @@ class GpuHub : public PacketSink
 
     /** True when no job, chunk, or response is pending. */
     bool idle() const;
+
+    void
+    registerMetrics(MetricRegistry &reg,
+                    const std::string &prefix) const override
+    {
+        reg.addCounter(prefix + ".chunksInjected", &injected);
+        reg.addCounter(prefix + ".responses", &responses);
+        reg.addCounter(prefix + ".throttlePauses", &pauses);
+        reg.addCounter(prefix + ".bytesServed", &served);
+    }
 
   private:
     struct JobState

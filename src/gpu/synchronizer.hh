@@ -13,6 +13,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "common/metrics.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "switchcompute/group_sync_table.hh" // SyncPhase
@@ -23,7 +24,7 @@ namespace cais
 class GpuHub;
 
 /** Per-GPU TB-group synchronization frontend. */
-class Synchronizer
+class Synchronizer : public Probe
 {
   public:
     explicit Synchronizer(GpuId gpu);
@@ -44,6 +45,14 @@ class Synchronizer
     std::uint64_t requests() const { return reqs.value(); }
     std::uint64_t releases() const { return rels.value(); }
     std::size_t pendingCount() const { return pending.size(); }
+
+    void
+    registerMetrics(MetricRegistry &reg,
+                    const std::string &prefix) const override
+    {
+        reg.addCounter(prefix + ".requests", &reqs);
+        reg.addCounter(prefix + ".releases", &rels);
+    }
 
   private:
     static std::uint64_t

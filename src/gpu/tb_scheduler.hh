@@ -14,6 +14,7 @@
 #include <functional>
 #include <map>
 
+#include "common/metrics.hh"
 #include "common/stats.hh"
 #include "gpu/sm.hh"
 
@@ -21,7 +22,7 @@ namespace cais
 {
 
 /** FIFO thread-block dispatcher over an SmPool. */
-class TbScheduler
+class TbScheduler : public Probe
 {
   public:
     explicit TbScheduler(SmPool &pool);
@@ -40,6 +41,13 @@ class TbScheduler
 
     std::size_t pendingCount() const;
     std::uint64_t dispatchedCount() const { return dispatched.value(); }
+
+    void
+    registerMetrics(MetricRegistry &reg,
+                    const std::string &prefix) const override
+    {
+        reg.addCounter(prefix + ".dispatched", &dispatched);
+    }
 
   private:
     struct Bucket

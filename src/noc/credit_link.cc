@@ -142,4 +142,17 @@ CreditLink::tryIssue()
     }
 }
 
+void
+CreditLink::registerMetrics(MetricRegistry &reg,
+                            const std::string &prefix) const
+{
+    // The per-bin utilization TimeSeries is deliberately not
+    // registered: one series per link direction would dominate the
+    // report; Fabric exposes the fleet-wide aggregate instead.
+    reg.addCounter(prefix + ".wireBytes", &wireBytes);
+    reg.addCounter(prefix + ".payloadBytes", &payloadBytes);
+    reg.addCounter(prefix + ".packets", &packets);
+    reg.addGaugeU64(prefix + ".busyCycles", [this] { return busy; });
+}
+
 } // namespace cais

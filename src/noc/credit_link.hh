@@ -21,6 +21,7 @@
 
 #include "common/event_queue.hh"
 #include "common/intmath.hh"
+#include "common/metrics.hh"
 #include "common/stats.hh"
 #include "noc/arbiter.hh"
 #include "noc/packet.hh"
@@ -44,7 +45,7 @@ class PacketSink
 };
 
 /** One direction of an NVLink between a GPU and a switch. */
-class CreditLink
+class CreditLink : public Probe
 {
   public:
     CreditLink(EventQueue &eq, std::string name, double bytes_per_cycle,
@@ -96,6 +97,9 @@ class CreditLink
     std::uint64_t totalPayloadBytes() const { return payloadBytes.value(); }
     std::uint64_t totalPackets() const { return packets.value(); }
     Cycle busyCycles() const { return busy; }
+
+    void registerMetrics(MetricRegistry &reg,
+                         const std::string &prefix) const override;
 
   private:
     /** Try to start serializing the next eligible packet. */

@@ -164,4 +164,22 @@ Fabric::totalWireBytes() const
     return n;
 }
 
+void
+Fabric::registerMetrics(MetricRegistry &reg,
+                        const std::string &prefix) const
+{
+    for (int g = 0; g < p.numGpus; ++g) {
+        for (int s = 0; s < p.numSwitches; ++s) {
+            up[static_cast<std::size_t>(g)][static_cast<std::size_t>(s)]
+                ->registerMetrics(reg, prefix + ".up.g" +
+                                           std::to_string(g) + ".s" +
+                                           std::to_string(s));
+            down[static_cast<std::size_t>(s)][static_cast<std::size_t>(g)]
+                ->registerMetrics(reg, prefix + ".dn.s" +
+                                           std::to_string(s) + ".g" +
+                                           std::to_string(g));
+        }
+    }
+}
+
 } // namespace cais

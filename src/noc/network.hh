@@ -81,6 +81,14 @@ class Fabric
     /** Total wire bytes moved on all links. */
     std::uint64_t totalWireBytes() const;
 
+    /**
+     * Register every link's scalar counters under
+     * prefix.up.g<G>.s<S>.* and prefix.dn.s<S>.g<G>.* (the switch
+     * chips register separately under the per-switch subtree).
+     */
+    void registerMetrics(MetricRegistry &reg,
+                         const std::string &prefix) const;
+
   private:
     double linkSetUtilization(const std::vector<const CreditLink *> &ls,
                               Cycle t0, Cycle t1) const;

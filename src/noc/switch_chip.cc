@@ -147,4 +147,26 @@ SwitchChip::peakInputOccupancy() const
     return peak;
 }
 
+std::size_t
+SwitchChip::inputOccupancy(int vc) const
+{
+    std::size_t n = 0;
+    for (const auto &port : inPorts)
+        if (vc >= 0 && vc < static_cast<int>(port.vcs.size()))
+            n += port.vcs[static_cast<std::size_t>(vc)].size();
+    return n;
+}
+
+void
+SwitchChip::registerMetrics(MetricRegistry &reg,
+                            const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".forwarded", &forwarded);
+    reg.addCounter(prefix + ".consumed", &consumed);
+    reg.addCounter(prefix + ".generated", &generated);
+    reg.addGaugeU64(prefix + ".peakInputVcOccupancy", [this] {
+        return static_cast<std::uint64_t>(peakInputOccupancy());
+    });
+}
+
 } // namespace cais

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/event_queue.hh"
+#include "common/metrics.hh"
 #include "common/stats.hh"
 #include "noc/switch_port.hh"
 #include "noc/virtual_channel.hh"
@@ -60,7 +61,7 @@ class SwitchComputeHandler
 };
 
 /** One NVSwitch chip with per-GPU input and output ports. */
-class SwitchChip : public PacketSink
+class SwitchChip : public PacketSink, public Probe
 {
   public:
     SwitchChip(EventQueue &eq, SwitchId id, int node_id, int num_gpus,
@@ -114,6 +115,12 @@ class SwitchChip : public PacketSink
 
     /** Peak input-VC occupancy across all ports (buffer studies). */
     std::size_t peakInputOccupancy() const;
+
+    /** Live input-VC occupancy summed over ports for class @p vc. */
+    std::size_t inputOccupancy(int vc) const;
+
+    void registerMetrics(MetricRegistry &reg,
+                         const std::string &prefix) const override;
 
   private:
     struct InPort

@@ -2,8 +2,11 @@
 
 #include <cmath>
 
+#include "analysis/deep_trace.hh"
+#include "analysis/report.hh"
 #include "analysis/trace.hh"
 #include "common/log.hh"
+#include "common/metrics.hh"
 
 namespace cais
 {
@@ -47,6 +50,26 @@ runGraph(const StrategySpec &spec, const OpGraph &graph,
 {
     ScopedLogLevel verbosity(cfg.verbosity);
     System sys(cfg.toSystemConfig(spec));
+
+    // The registry holds non-owning readers; registering before the
+    // run costs nothing and cannot perturb it.
+    MetricRegistry reg;
+    sys.registerMetrics(reg);
+
+    // Deep trace: switch-side lifecycle hooks plus a periodic
+    // counter-track sampler that runs outside the event stream, so a
+    // traced run stays bit-identical to an untraced one.
+    bool tracing = !cfg.tracePath.empty();
+    TraceCollector tc;
+    DeepTraceProbe probe(sys, tc);
+    if (tracing) {
+        sys.setTraceHooks(&probe);
+        if (cfg.traceSampleCycles > 0)
+            sys.eq().setPeriodicObserver(
+                cfg.traceSampleCycles,
+                [&probe](Cycle at) { probe.sample(at); });
+    }
+
     GraphLowering lowering(sys, graph, spec.opts);
     lowering.lower();
     sys.run();
@@ -55,67 +78,53 @@ runGraph(const StrategySpec &spec, const OpGraph &graph,
     r.strategy = spec.name;
     r.workload = workload_name;
     r.makespan = sys.makespan();
-    r.eventsExecuted = sys.eq().executed();
+
+    // Everything counter-shaped is harvested from the registry; only
+    // the windowed utilization aggregates still need Fabric methods
+    // (they are computations over [0, makespan), not plain readings).
+    MetricSnapshot snap = reg.snapshot();
+    r.eventsExecuted = snap.sumU64("eventq.executed");
+    r.wireBytes = snap.sumU64("link.*.wireBytes");
+    r.mergeLoadReqs = snap.sumU64("switch*.merge.loadReqs");
+    r.mergeRedReqs = snap.sumU64("switch*.merge.redReqs");
+    r.mergeLoadHits = snap.sumU64("switch*.merge.loadHits");
+    r.mergeRedHits = snap.sumU64("switch*.merge.redHits");
+    r.mergeFetches = snap.sumU64("switch*.merge.fetches");
+    r.sessionsClosed = snap.sumU64("switch*.merge.sessionsClosed");
+    r.lruEvictions = snap.sumU64("switch*.merge.evictions.lru");
+    r.timeoutEvictions =
+        snap.sumU64("switch*.merge.evictions.timeout");
+    r.throttleHints =
+        snap.sumU64("switch*.merge.throttle.hintsSent");
+    r.peakMergeBytes = snap.maxU64("switch*.merge.peakTableBytes");
+
+    // Count-weighted mean over the per-switch stagger histograms.
+    double stagger_weighted = 0.0;
+    std::uint64_t stagger_n = 0;
+    snap.forEach("switch*.merge.stagger",
+                 [&](const std::string &, const MetricValue &v) {
+        stagger_weighted += v.mean * static_cast<double>(v.count);
+        stagger_n += v.count;
+    });
+    r.staggerSamples = stagger_n;
+    r.staggerUs = stagger_n
+        ? stagger_weighted / static_cast<double>(stagger_n) /
+              static_cast<double>(cyclesPerUs)
+        : 0.0;
 
     Cycle end = r.makespan ? r.makespan : 1;
     r.avgUtil = sys.fabric().avgUtilization(0, end);
     r.upUtil = sys.fabric().dirUtilization(true, 0, end);
     r.dnUtil = sys.fabric().dirUtilization(false, 0, end);
     r.gpuUtil = sys.gpuUtilization();
-    r.wireBytes = sys.fabric().totalWireBytes();
     r.utilSeries = sys.fabric().utilizationSeries(0, end);
     r.utilBinWidth = cfg.utilBinWidth;
 
-    for (SwitchId s = 0; s < sys.numSwitches(); ++s) {
-        const MergeUnit &mu = sys.switchCompute(s).merge();
-        const MergeStats &ms = mu.stats();
-        r.mergeLoadReqs += ms.loadReqs.value();
-        r.mergeRedReqs += ms.redReqs.value();
-        r.mergeLoadHits += ms.loadHits.value();
-        r.mergeRedHits += ms.redHits.value();
-        r.mergeFetches += ms.fetches.value();
-        r.sessionsClosed += ms.sessionsClosed.value();
-        r.lruEvictions += mu.evictionStats().lruEvictions.value();
-        r.timeoutEvictions +=
-            mu.evictionStats().timeoutEvictions.value();
-        r.throttleHints += mu.throttleHints();
-        r.peakMergeBytes =
-            std::max(r.peakMergeBytes, mu.peakTableBytes());
-        r.staggerSamples += mu.staggerHist().count();
-    }
-    r.staggerUs = sys.mergeStaggerMean() /
-                  static_cast<double>(cyclesPerUs);
-
-    if (!cfg.tracePath.empty()) {
-        TraceCollector tc;
-        tc.nameProcess(0, "GPUs (" + spec.name + ")");
-        tc.nameProcess(1, "fabric");
-        for (GpuId g = 0; g < sys.numGpus(); ++g)
-            tc.nameLane(0, g, strfmt("GPU %d", g));
-        tc.nameLane(1, 0, "mean link utilization");
-        for (std::size_t k = 0; k < sys.numKernels(); ++k) {
-            const KernelDesc &d = sys.kernel(static_cast<KernelId>(k));
-            for (GpuId g = 0; g < sys.numGpus(); ++g) {
-                auto [s0, s1] =
-                    sys.kernelGpuSpan(static_cast<KernelId>(k), g);
-                if (s1 > 0)
-                    tc.addSpan(d.name,
-                               d.commKernel ? "comm" : "compute", 0,
-                               g, s0, s1);
-            }
-        }
-        for (std::size_t i = 0; i < r.utilSeries.size(); ++i)
-            tc.addCounter("link util %", 1,
-                          static_cast<Cycle>(i) * cfg.utilBinWidth,
-                          100.0 * r.utilSeries[i]);
-        if (!tc.writeFile(cfg.tracePath))
-            warn("could not write trace to %s",
-                 cfg.tracePath.c_str());
-    }
-
+    // One pass over the kernels builds the timeline and (when
+    // tracing) the per-GPU kernel spans.
     for (std::size_t k = 0; k < sys.numKernels(); ++k) {
-        KernelTiming t;
         const KernelDesc &d = sys.kernel(static_cast<KernelId>(k));
+        KernelTiming t;
         t.name = d.name;
         t.comm = d.commKernel;
         t.start = sys.kernelStartTime(static_cast<KernelId>(k));
@@ -126,8 +135,40 @@ runGraph(const StrategySpec &spec, const OpGraph &graph,
             else
                 r.computeKernelCycles += t.finish - t.start;
         }
+        if (tracing) {
+            for (GpuId g = 0; g < sys.numGpus(); ++g) {
+                auto [s0, s1] =
+                    sys.kernelGpuSpan(static_cast<KernelId>(k), g);
+                if (s1 > 0)
+                    tc.addSpan(d.name,
+                               d.commKernel ? "comm" : "compute", 0,
+                               g, s0, s1);
+            }
+        }
         r.kernels.push_back(std::move(t));
     }
+
+    if (tracing) {
+        tc.nameProcess(0, "GPUs (" + spec.name + ")");
+        tc.nameProcess(1, "fabric");
+        for (GpuId g = 0; g < sys.numGpus(); ++g)
+            tc.nameLane(0, g, strfmt("GPU %d", g));
+        tc.nameLane(1, sys.numGpus(), "mean link utilization");
+        probe.announceLanes();
+        for (std::size_t i = 0; i < r.utilSeries.size(); ++i)
+            tc.addCounter("link util %", 1,
+                          static_cast<Cycle>(i) * cfg.utilBinWidth,
+                          100.0 * r.utilSeries[i]);
+        if (!tc.writeFile(cfg.tracePath))
+            warn("could not write trace to %s",
+                 cfg.tracePath.c_str());
+    }
+
+    if (!cfg.metricsPath.empty() &&
+        !writeMetricsReport(cfg.metricsPath, cfg, r, snap))
+        warn("could not write metrics report to %s",
+             cfg.metricsPath.c_str());
+
     return r;
 }
 

@@ -59,8 +59,21 @@ struct RunConfig
     std::uint64_t maxEvents = 400ull * 1000 * 1000;
 
     /** When non-empty, a Chrome trace (Perfetto-loadable) of kernel
-     *  spans and link-utilization counters is written here. */
+     *  spans, switch-side merge/sync lanes and counter tracks is
+     *  written here (see analysis/deep_trace.hh for the lane map). */
     std::string tracePath;
+
+    /** When non-empty, the schema-versioned JSON metrics report
+     *  (analysis/report.hh) is written here. */
+    std::string metricsPath;
+
+    /**
+     * Counter-track sample period for the deep trace, in cycles. The
+     * sampler runs outside the event stream (it never schedules
+     * events and is not counted in eventsExecuted), so tracing is
+     * bit-identical to not tracing. 0 disables the counter tracks.
+     */
+    Cycle traceSampleCycles = 1000;
 
     /** Per-run verbosity, installed as a thread-local override for
      *  the duration of the run (sweep jobs don't race on the global

@@ -545,6 +545,29 @@ System::kernelGpuSpan(KernelId k, GpuId g) const
     return {first, last};
 }
 
+void
+System::registerMetrics(MetricRegistry &reg) const
+{
+    reg.addGaugeU64("eventq.executed",
+                    [this] { return queue.executed(); });
+    for (std::size_t s = 0; s < complexes.size(); ++s) {
+        std::string prefix = "switch" + std::to_string(s);
+        complexes[s]->registerMetrics(reg, prefix);
+        fab->switchChip(static_cast<SwitchId>(s))
+            .registerMetrics(reg, prefix + ".chip");
+    }
+    for (std::size_t g = 0; g < gpus.size(); ++g)
+        gpus[g]->registerMetrics(reg, "gpu" + std::to_string(g));
+    fab->registerMetrics(reg, "link");
+}
+
+void
+System::setTraceHooks(SwitchTraceHooks *h)
+{
+    for (auto &c : complexes)
+        c->setTraceHooks(h);
+}
+
 double
 System::mergeStaggerMean() const
 {

@@ -156,6 +156,17 @@ class System : public DataArrivalHandler
 
     // --- Metrics ----------------------------------------------------
 
+    /**
+     * Register the whole machine in @p reg (DESIGN.md §6d):
+     * eventq.executed, switch<S>.{nvls,merge,sync,chip}.*,
+     * gpu<G>.{hub,hbm,sched,sync}.* and link.{up,dn}.*. Registration
+     * is read-only; call once per System per registry.
+     */
+    void registerMetrics(MetricRegistry &reg) const;
+
+    /** Attach @p h to every switch's merge and sync engines. */
+    void setTraceHooks(SwitchTraceHooks *h);
+
     /** Aggregate merge-unit stagger mean over all switches, cycles. */
     double mergeStaggerMean() const;
 

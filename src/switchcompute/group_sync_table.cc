@@ -40,6 +40,9 @@ GroupSyncTable::handleSyncReq(Packet &&pkt)
     std::uint64_t mask = e.mask;
     std::uint64_t phase = pkt.cookie;
     GroupId group = pkt.group;
+    if (hooks)
+        hooks->onSyncWindow(sw.id(), group, static_cast<int>(phase),
+                            e.first, now);
     pending.erase(key(group, phase));
 
     for (GpuId g = 0; g < sw.numGpus(); ++g) {
@@ -52,6 +55,15 @@ GroupSyncTable::handleSyncReq(Packet &&pkt)
         sw.sendToGpu(std::move(rel));
     }
     rels.inc();
+}
+
+void
+GroupSyncTable::registerMetrics(MetricRegistry &reg,
+                                const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".requests", &reqs);
+    reg.addCounter(prefix + ".releases", &rels);
+    reg.addHistogram(prefix + ".window", &window);
 }
 
 } // namespace cais

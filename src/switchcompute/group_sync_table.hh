@@ -11,7 +11,9 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "common/metrics.hh"
 #include "common/stats.hh"
+#include "common/trace_hooks.hh"
 #include "noc/switch_chip.hh"
 
 namespace cais
@@ -21,10 +23,13 @@ namespace cais
 enum class SyncPhase : std::uint8_t { preLaunch = 0, preAccess = 1 };
 
 /** Per-group rendezvous counters with release broadcast. */
-class GroupSyncTable
+class GroupSyncTable : public Probe
 {
   public:
     explicit GroupSyncTable(SwitchChip &sw);
+
+    /** Attach a rendezvous-window observer (nullptr detaches). */
+    void setTraceHooks(SwitchTraceHooks *h) { hooks = h; }
 
     /** Consume one groupSyncReq packet. */
     void handleSyncReq(Packet &&pkt);
@@ -35,6 +40,9 @@ class GroupSyncTable
 
     /** Registration window (first to last request) in cycles. */
     const Histogram &windowHist() const { return window; }
+
+    void registerMetrics(MetricRegistry &reg,
+                         const std::string &prefix) const override;
 
   private:
     struct Entry
@@ -51,6 +59,7 @@ class GroupSyncTable
     }
 
     SwitchChip &sw;
+    SwitchTraceHooks *hooks = nullptr;
     std::unordered_map<std::uint64_t, Entry> pending;
     Counter reqs;
     Counter rels;

@@ -1,5 +1,7 @@
 #include "switchcompute/merge_unit.hh"
 
+#include <string>
+
 #include "common/log.hh"
 
 namespace cais
@@ -17,6 +19,9 @@ MergeUnit::MergeUnit(SwitchChip &sw_, const MergeParams &params)
     if (p.throttleEnabled) {
         throttle.setHintCallback(
             [this](GpuId g, GroupId group, Cycle pause) {
+            if (hooks)
+                hooks->onThrottleHint(sw.id(), g, group,
+                                      sw.eventQueue().now());
             Packet hint = sw.makePacket(PacketType::throttleHint, g);
             hint.group = group;
             hint.cookie = pause;
@@ -154,6 +159,8 @@ MergeUnit::handleLoadReq(Packet &&pkt)
     e = tbl.allocate(pkt.addr, true);
     st.sessionsOpened.inc();
     noteOpen(true);
+    if (hooks)
+        hooks->onMergeSessionOpen(sw.id(), home, pkt.addr, true, now);
     e->expected = pkt.expected;
     e->group = pkt.group;
     e->count = 1;
@@ -240,6 +247,9 @@ MergeUnit::handleRedReq(Packet &&pkt)
         e = tbl.allocate(pkt.addr, false);
         st.sessionsOpened.inc();
         noteOpen(false);
+        if (hooks)
+            hooks->onMergeSessionOpen(sw.id(), home, pkt.addr, false,
+                                      now);
         e->expected = pkt.expected;
         e->group = pkt.group;
         e->allocatedAt = now;
@@ -287,6 +297,10 @@ MergeUnit::closeSession(GpuId port, MergeEntry *e, bool complete)
     throttle.onSessionClose(e->group, e->contribMask);
     if (complete)
         st.sessionsClosed.inc();
+    if (hooks)
+        hooks->onMergeSessionClose(sw.id(), port, e->addr, e->isLoad(),
+                                   e->count, e->bytes, e->allocatedAt,
+                                   sw.eventQueue().now(), complete);
     table(port).release(e);
 }
 
@@ -297,6 +311,9 @@ MergeUnit::evictEntry(GpuId port, MergeEntry *e, bool timeout_evict)
         evSt.timeoutEvictions.inc();
     else
         evSt.lruEvictions.inc();
+    if (hooks)
+        hooks->onMergeEviction(sw.id(), port, timeout_evict,
+                               sw.eventQueue().now());
     // Reduction sessions flush their partial sum to the home GPU (the
     // memory controller completes the reduction); Load-Ready sessions
     // simply drop the cached data.
@@ -352,6 +369,61 @@ MergeUnit::liveSessions() const
     for (const auto &t : tables)
         n += t.liveEntries();
     return n;
+}
+
+std::uint64_t
+MergeUnit::liveTableBytes(GpuId port) const
+{
+    return tables[static_cast<std::size_t>(port)].liveBytes();
+}
+
+void
+MergeUnit::registerMetrics(MetricRegistry &reg,
+                           const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".loadReqs", &st.loadReqs);
+    reg.addCounter(prefix + ".redReqs", &st.redReqs);
+    reg.addCounter(prefix + ".loadHits", &st.loadHits);
+    reg.addCounter(prefix + ".redHits", &st.redHits);
+    reg.addCounter(prefix + ".fetches", &st.fetches);
+    reg.addCounter(prefix + ".bypassFetches", &st.bypassFetches);
+    reg.addCounter(prefix + ".unmergedWrites", &st.unmergedWrites);
+    reg.addCounter(prefix + ".mergedWrites", &st.mergedWrites);
+    reg.addCounter(prefix + ".sessionsOpened", &st.sessionsOpened);
+    reg.addCounter(prefix + ".sessionsClosed", &st.sessionsClosed);
+
+    reg.addCounter(prefix + ".evictions.lru", &evSt.lruEvictions);
+    reg.addCounter(prefix + ".evictions.timeout",
+                   &evSt.timeoutEvictions);
+    reg.addCounter(prefix + ".evictions.deferred",
+                   &evSt.deferredEvictions);
+
+    reg.addHistogram(prefix + ".stagger", &stagger);
+    reg.addHistogram(prefix + ".loadStagger", &loadStagger);
+    reg.addHistogram(prefix + ".redStagger", &redStagger);
+
+    reg.addGaugeU64(prefix + ".peakTableBytes",
+                    [this] { return peakTableBytes(); });
+    reg.addGaugeU64(prefix + ".peakLoadSessions", [this] {
+        return static_cast<std::uint64_t>(peakLoads);
+    });
+    reg.addGaugeU64(prefix + ".peakRedSessions", [this] {
+        return static_cast<std::uint64_t>(peakReds);
+    });
+
+    for (std::size_t port = 0; port < tables.size(); ++port) {
+        const MergingTable *t = &tables[port];
+        reg.addGaugeU64(prefix + ".port" + std::to_string(port) +
+                            ".peakBytes",
+                        [t] { return t->peakBytes(); });
+        reg.addGaugeU64(prefix + ".port" + std::to_string(port) +
+                            ".peakEntries",
+                        [t] {
+            return static_cast<std::uint64_t>(t->peakEntries());
+        });
+    }
+
+    throttle.registerMetrics(reg, prefix + ".throttle");
 }
 
 } // namespace cais

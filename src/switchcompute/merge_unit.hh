@@ -25,7 +25,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.hh"
 #include "common/stats.hh"
+#include "common/trace_hooks.hh"
 #include "noc/switch_chip.hh"
 #include "switchcompute/eviction.hh"
 #include "switchcompute/merging_table.hh"
@@ -75,10 +77,13 @@ struct MergeStats
 };
 
 /** The switch-resident compute-aware merging engine. */
-class MergeUnit
+class MergeUnit : public Probe
 {
   public:
     MergeUnit(SwitchChip &sw, const MergeParams &params = {});
+
+    /** Attach a session-lifecycle observer (nullptr detaches). */
+    void setTraceHooks(SwitchTraceHooks *h) { hooks = h; }
 
     /** Micro-function 1 entry point. */
     void handleLoadReq(Packet &&pkt);
@@ -120,7 +125,13 @@ class MergeUnit
 
     std::uint64_t throttleHints() const { return throttle.hintsSent(); }
 
+    /** Live table bytes at one home port (trace sampling). */
+    std::uint64_t liveTableBytes(GpuId port) const;
+
     const MergeParams &params() const { return p; }
+
+    void registerMetrics(MetricRegistry &reg,
+                         const std::string &prefix) const override;
 
   private:
     struct FetchCtx
@@ -183,6 +194,7 @@ class MergeUnit
     MergeStats st;
     EvictionStats evSt;
     bool sweepScheduled = false;
+    SwitchTraceHooks *hooks = nullptr;
 };
 
 } // namespace cais

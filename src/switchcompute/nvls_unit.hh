@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "common/metrics.hh"
 #include "common/stats.hh"
 #include "noc/switch_chip.hh"
 
@@ -35,7 +36,7 @@ struct NvlsParams
 };
 
 /** The switch-resident NVLS engine. */
-class NvlsUnit
+class NvlsUnit : public Probe
 {
   public:
     NvlsUnit(SwitchChip &sw, const NvlsParams &params = {});
@@ -53,6 +54,15 @@ class NvlsUnit
     std::size_t pendingSessions() const
     {
         return gathers.size() + reds.size();
+    }
+
+    void
+    registerMetrics(MetricRegistry &reg,
+                    const std::string &prefix) const override
+    {
+        reg.addCounter(prefix + ".multicasts", &stMulticasts);
+        reg.addCounter(prefix + ".gatherReduces", &gathersDone);
+        reg.addCounter(prefix + ".pushReduces", &redsDone);
     }
 
   private:

@@ -33,6 +33,23 @@ class SwitchComputeComplex : public SwitchComputeHandler
     bool wants(const Packet &pkt) const override;
     void handlePacket(Packet &&pkt) override;
 
+    /** Attach a lifecycle observer to the merge and sync engines. */
+    void
+    setTraceHooks(SwitchTraceHooks *h)
+    {
+        mergeUnit.setTraceHooks(h);
+        syncTable.setTraceHooks(h);
+    }
+
+    /** Register every engine under prefix.{nvls,merge,sync}. */
+    void
+    registerMetrics(MetricRegistry &reg, const std::string &prefix) const
+    {
+        nvlsUnit.registerMetrics(reg, prefix + ".nvls");
+        mergeUnit.registerMetrics(reg, prefix + ".merge");
+        syncTable.registerMetrics(reg, prefix + ".sync");
+    }
+
     NvlsUnit &nvls() { return nvlsUnit; }
     MergeUnit &merge() { return mergeUnit; }
     GroupSyncTable &sync() { return syncTable; }

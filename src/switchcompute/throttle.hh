@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -23,7 +24,7 @@ namespace cais
 {
 
 /** Switch-side throttling bookkeeping and hint generation. */
-class ThrottleController
+class ThrottleController : public Probe
 {
   public:
     /**
@@ -49,6 +50,13 @@ class ThrottleController
     int unmatched(GroupId group, GpuId g) const;
 
     std::uint64_t hintsSent() const { return hints.value(); }
+
+    void
+    registerMetrics(MetricRegistry &reg,
+                    const std::string &prefix) const override
+    {
+        reg.addCounter(prefix + ".hintsSent", &hints);
+    }
 
   private:
     int numGpus;

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Unit tests for the observability backbone (DESIGN.md §6d): the
+ * hierarchical MetricRegistry and its snapshot pattern queries, the
+ * shared JSON writer/parser, the schema-versioned run report, and the
+ * cais_report renderer (driven in-process via cais_report_core).
+ */
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "analysis/report.hh"
+#include "common/json.hh"
+#include "common/metrics.hh"
+#include "report.hh" // tools/cais_report core
+
+using namespace cais;
+
+namespace
+{
+
+TEST(MetricRegistry, RegistersAndSnapshotsEveryKind)
+{
+    MetricRegistry reg;
+    Counter c;
+    c.inc(42);
+    Accumulator a;
+    a.sample(2.0);
+    a.sample(4.0);
+    Histogram h(0.0, 10.0, 10);
+    h.sample(5.0);
+    TimeSeries ts(100);
+    ts.record(50, 7.0);
+
+    reg.addCounter("sw0.pkts", &c);
+    reg.addAccumulator("sw0.lat", &a);
+    reg.addHistogram("sw0.stagger", &h);
+    reg.addTimeSeries("sw0.bw", &ts);
+    reg.addGauge("sw0.util", [] { return 0.5; });
+    reg.addGaugeU64("sw0.peak", [] { return std::uint64_t(99); });
+
+    EXPECT_EQ(reg.size(), 6u);
+    EXPECT_TRUE(reg.has("sw0.pkts"));
+    EXPECT_FALSE(reg.has("sw0.nope"));
+
+    MetricSnapshot snap = reg.snapshot();
+    const MetricValue *pkts = snap.find("sw0.pkts");
+    ASSERT_NE(pkts, nullptr);
+    EXPECT_EQ(pkts->kind, MetricKind::counter);
+    EXPECT_EQ(pkts->u64, 42u);
+
+    const MetricValue *lat = snap.find("sw0.lat");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->count, 2u);
+    EXPECT_DOUBLE_EQ(lat->mean, 3.0);
+
+    const MetricValue *stagger = snap.find("sw0.stagger");
+    ASSERT_NE(stagger, nullptr);
+    EXPECT_EQ(stagger->kind, MetricKind::histogram);
+    EXPECT_EQ(stagger->count, 1u);
+
+    const MetricValue *bw = snap.find("sw0.bw");
+    ASSERT_NE(bw, nullptr);
+    EXPECT_EQ(bw->binWidth, 100u);
+    ASSERT_FALSE(bw->bins.empty());
+    EXPECT_DOUBLE_EQ(bw->bins[0], 7.0);
+
+    EXPECT_DOUBLE_EQ(snap.find("sw0.util")->value, 0.5);
+    EXPECT_EQ(snap.find("sw0.peak")->u64, 99u);
+}
+
+TEST(MetricRegistry, SnapshotReadsAtCallTime)
+{
+    MetricRegistry reg;
+    Counter c;
+    reg.addCounter("c", &c);
+    c.inc(5);
+    // Registration stores a reader, not a value: the increment after
+    // addCounter must be visible.
+    EXPECT_EQ(reg.snapshot().find("c")->u64, 5u);
+}
+
+TEST(MetricRegistry, RejectsDuplicateAndEmptyPaths)
+{
+    MetricRegistry reg;
+    Counter c;
+    reg.addCounter("dup", &c);
+    EXPECT_DEATH(reg.addCounter("dup", &c), "duplicate metric path");
+    EXPECT_DEATH(reg.addCounter("", &c), "empty path");
+}
+
+TEST(MetricSnapshot, PatternMatching)
+{
+    // '*' matches any run of characters, including dots.
+    EXPECT_TRUE(MetricSnapshot::matches("switch*.merge.loadReqs",
+                                        "switch12.merge.loadReqs"));
+    EXPECT_TRUE(MetricSnapshot::matches("*", "anything.at.all"));
+    EXPECT_TRUE(MetricSnapshot::matches("a.*.c", "a.b.x.c"));
+    EXPECT_TRUE(MetricSnapshot::matches("exact", "exact"));
+    EXPECT_FALSE(MetricSnapshot::matches("exact", "exactly"));
+    // The stagger aggregate must not swallow the load/red variants.
+    EXPECT_FALSE(MetricSnapshot::matches(
+        "switch*.merge.stagger", "switch0.merge.loadStagger"));
+    EXPECT_FALSE(
+        MetricSnapshot::matches("a.*.c", "a.b.d"));
+}
+
+TEST(MetricSnapshot, AggregatesOverPatterns)
+{
+    MetricRegistry reg;
+    Counter c0, c1, other;
+    c0.inc(10);
+    c1.inc(32);
+    other.inc(1000);
+    reg.addCounter("sw0.merge.loadReqs", &c0);
+    reg.addCounter("sw1.merge.loadReqs", &c1);
+    reg.addCounter("sw0.merge.redReqs", &other);
+
+    MetricSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.sumU64("sw*.merge.loadReqs"), 42u);
+    EXPECT_EQ(snap.maxU64("sw*.merge.loadReqs"), 32u);
+    EXPECT_DOUBLE_EQ(snap.sum("sw*.merge.loadReqs"), 42.0);
+
+    int visited = 0;
+    snap.forEach("sw*.merge.loadReqs",
+                 [&](const std::string &path, const MetricValue &) {
+        // forEach visits in path order.
+        EXPECT_EQ(path, visited == 0 ? "sw0.merge.loadReqs"
+                                     : "sw1.merge.loadReqs");
+        ++visited;
+    });
+    EXPECT_EQ(visited, 2);
+}
+
+struct TestProbe : public Probe
+{
+    Counter hits;
+
+    void
+    registerMetrics(MetricRegistry &reg,
+                    const std::string &prefix) const override
+    {
+        reg.addCounter(prefix + ".hits", &hits);
+    }
+};
+
+TEST(Probe, SelfRegistersUnderPrefix)
+{
+    TestProbe p;
+    p.hits.inc(3);
+    MetricRegistry reg;
+    p.registerMetrics(reg, "switch0.unit");
+    EXPECT_EQ(reg.snapshot().find("switch0.unit.hits")->u64, 3u);
+}
+
+TEST(JsonWriter, RoundTripsThroughParser)
+{
+    JsonWriter w;
+    w.beginObject()
+        .field("name", "a \"quoted\"\nname")
+        .field("count", std::uint64_t(18446744073709551615ull))
+        .field("pi", 3.25)
+        .field("neg", std::int64_t(-7))
+        .field("on", true)
+        .key("list")
+        .beginArray()
+        .value(1)
+        .value(2)
+        .endArray()
+        .key("nothing")
+        .null()
+        .endObject();
+
+    JsonValue v;
+    std::string error;
+    ASSERT_TRUE(jsonParse(w.str(), v, error)) << error;
+    EXPECT_EQ(v.getString("name"), "a \"quoted\"\nname");
+    EXPECT_DOUBLE_EQ(v.getNumber("pi"), 3.25);
+    EXPECT_DOUBLE_EQ(v.getNumber("neg"), -7.0);
+    ASSERT_NE(v.find("on"), nullptr);
+    EXPECT_TRUE(v.find("on")->boolVal);
+    ASSERT_NE(v.find("list"), nullptr);
+    ASSERT_EQ(v.find("list")->elems.size(), 2u);
+    EXPECT_DOUBLE_EQ(v.find("list")->elems[1].numVal, 2.0);
+    EXPECT_TRUE(v.find("nothing")->isNull());
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeZero)
+{
+    JsonWriter w;
+    w.beginObject()
+        .field("inf", std::numeric_limits<double>::infinity())
+        .field("nan", std::numeric_limits<double>::quiet_NaN())
+        .endObject();
+    JsonValue v;
+    std::string error;
+    ASSERT_TRUE(jsonParse(w.str(), v, error)) << error;
+    EXPECT_DOUBLE_EQ(v.getNumber("inf"), 0.0);
+    EXPECT_DOUBLE_EQ(v.getNumber("nan"), 0.0);
+}
+
+TEST(JsonParse, RejectsMalformedInput)
+{
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(jsonParse("{\"a\": }", v, error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(jsonParse("", v, error));
+    EXPECT_FALSE(jsonParse("{\"a\": 1} trailing", v, error));
+}
+
+TEST(MetricSnapshot, WriteJsonIsParseable)
+{
+    MetricRegistry reg;
+    Counter c;
+    c.inc(7);
+    Histogram h(0.0, 10.0, 10);
+    h.sample(2.0);
+    h.sample(8.0);
+    reg.addCounter("sw0.pkts", &c);
+    reg.addHistogram("sw0.stagger", &h);
+
+    JsonWriter w;
+    reg.snapshot().writeJson(w);
+    JsonValue v;
+    std::string error;
+    ASSERT_TRUE(jsonParse(w.str(), v, error)) << error;
+    const JsonValue *pkts = v.find("sw0.pkts");
+    ASSERT_NE(pkts, nullptr);
+    EXPECT_EQ(pkts->getString("kind"), "counter");
+    EXPECT_DOUBLE_EQ(pkts->getNumber("value"), 7.0);
+    const JsonValue *stagger = v.find("sw0.stagger");
+    ASSERT_NE(stagger, nullptr);
+    EXPECT_EQ(stagger->getString("kind"), "histogram");
+    EXPECT_DOUBLE_EQ(stagger->getNumber("count"), 2.0);
+}
+
+/** A small but complete report document for the renderer tests. */
+std::string
+makeReport(std::uint64_t seed, std::uint64_t loadReqs)
+{
+    RunConfig cfg;
+    cfg.seed = seed;
+    RunResult r;
+    r.strategy = "CAIS";
+    r.workload = "L1";
+    r.makespan = 1000 + seed;
+    r.eventsExecuted = 5000;
+    KernelTiming k;
+    k.name = "ag_gemm";
+    k.start = 0;
+    k.finish = 900;
+    k.comm = true;
+    r.kernels.push_back(k);
+
+    // The registry stores non-owning readers, but snapshot() copies
+    // the values out, so the counter only needs to outlive that call.
+    MetricRegistry reg;
+    Counter c;
+    c.inc(loadReqs);
+    reg.addCounter("switch0.merge.loadReqs", &c);
+    return renderMetricsReport(cfg, r, reg.snapshot());
+}
+
+TEST(MetricsReport, RendersSchemaVersionedParseableJson)
+{
+    std::string text = makeReport(1, 10);
+    JsonValue v;
+    std::string error;
+    ASSERT_TRUE(jsonParse(text, v, error)) << error;
+    EXPECT_EQ(v.getString("schema"), metricsSchemaVersion);
+    EXPECT_EQ(v.getString("strategy"), "CAIS");
+    ASSERT_NE(v.find("config"), nullptr);
+    EXPECT_DOUBLE_EQ(v.find("config")->getNumber("seed"), 1.0);
+    ASSERT_NE(v.find("result"), nullptr);
+    EXPECT_DOUBLE_EQ(v.find("result")->getNumber("makespan"), 1001.0);
+    ASSERT_NE(v.find("metrics"), nullptr);
+    ASSERT_NE(v.find("metrics")->find("switch0.merge.loadReqs"),
+              nullptr);
+    ASSERT_NE(v.find("kernels"), nullptr);
+    ASSERT_EQ(v.find("kernels")->elems.size(), 1u);
+    EXPECT_EQ(v.find("kernels")->elems[0].getString("name"),
+              "ag_gemm");
+}
+
+TEST(CaisReport, LoadValidatesSchema)
+{
+    report::Report rep;
+    std::string error;
+    EXPECT_TRUE(report::load(makeReport(1, 10), "a.json", rep, error))
+        << error;
+
+    EXPECT_FALSE(report::load("{not json", "x", rep, error));
+    EXPECT_FALSE(report::load("{\"schema\": \"other-v9\"}", "x", rep,
+                              error));
+    EXPECT_NE(error.find("schema"), std::string::npos);
+    EXPECT_FALSE(report::load(
+        "{\"schema\": \"cais-metrics-v1\"}", "x", rep, error));
+    EXPECT_NE(error.find("result"), std::string::npos);
+}
+
+TEST(CaisReport, SummaryListsResultScalars)
+{
+    report::Report rep;
+    std::string error;
+    ASSERT_TRUE(report::load(makeReport(1, 10), "a.json", rep, error));
+    std::string s = report::summary(rep);
+    EXPECT_NE(s.find("makespan"), std::string::npos);
+    EXPECT_NE(s.find("1001"), std::string::npos);
+    EXPECT_NE(s.find("CAIS"), std::string::npos);
+}
+
+TEST(CaisReport, DiffShowsPercentDeltas)
+{
+    report::Report a, b;
+    std::string error;
+    ASSERT_TRUE(report::load(makeReport(1, 10), "a.json", a, error));
+    ASSERT_TRUE(report::load(makeReport(101, 15), "b.json", b, error));
+    std::string d = report::diff(a, b);
+    // makespan 1001 -> 1101 is +9.99%; the merge counter moved too.
+    EXPECT_NE(d.find("makespan"), std::string::npos);
+    EXPECT_NE(d.find("+9.99%"), std::string::npos);
+    EXPECT_NE(d.find("switch0.merge.loadReqs"), std::string::npos);
+}
+
+} // namespace

@@ -1,5 +1,8 @@
 /** @file Unit tests for the statistics package. */
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "common/stats.hh"
@@ -61,6 +64,50 @@ TEST(Histogram, PercentileInterpolates)
     EXPECT_NEAR(p50, 50.0, 1.5);
     double p90 = h.percentile(0.9);
     EXPECT_NEAR(p90, 90.0, 1.5);
+}
+
+TEST(Accumulator, ZeroSampleReadingsAreFinite)
+{
+    // The documented contract: every reading of an empty accumulator
+    // is 0.0 -- never NaN or +/-infinity -- so report writers can
+    // serialize without guarding.
+    Accumulator a;
+    EXPECT_TRUE(std::isfinite(a.mean()));
+    EXPECT_TRUE(std::isfinite(a.min()));
+    EXPECT_TRUE(std::isfinite(a.max()));
+    EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+    a.sample(5.0);
+    a.reset();
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(Histogram, ZeroSamplePercentileIsRangeStart)
+{
+    Histogram h(10.0, 20.0, 5);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 10.0);
+}
+
+TEST(Histogram, PercentileClampsFraction)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.sample(static_cast<double>(i) + 0.5);
+    EXPECT_DOUBLE_EQ(h.percentile(-0.5), h.percentile(0.0));
+    EXPECT_DOUBLE_EQ(h.percentile(2.0), h.percentile(1.0));
+    EXPECT_LE(h.percentile(0.0), h.percentile(1.0));
+}
+
+TEST(Histogram, NanFractionBehavesLikeZero)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.sample(static_cast<double>(i) + 0.5);
+    double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_TRUE(std::isfinite(h.percentile(nan)));
+    EXPECT_DOUBLE_EQ(h.percentile(nan), h.percentile(0.0));
 }
 
 TEST(TimeSeries, RecordsIntoBins)

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * cais_report: inspect cais-metrics-v1 run reports.
+ *
+ *   cais_report run.json              summary table of one run
+ *   cais_report --diff a.json b.json  A/B diff with percent deltas
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "report.hh"
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: cais_report <report.json>\n"
+                 "       cais_report --diff <a.json> <b.json>\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool want_diff = false;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--diff")
+            want_diff = true;
+        else if (arg == "-h" || arg == "--help")
+            return usage();
+        else
+            paths.push_back(arg);
+    }
+    if (paths.size() != (want_diff ? 2u : 1u))
+        return usage();
+
+    std::vector<cais::report::Report> reports(paths.size());
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+        std::string error;
+        if (!cais::report::loadFile(paths[i], reports[i], error)) {
+            std::fprintf(stderr, "cais_report: %s: %s\n",
+                         paths[i].c_str(), error.c_str());
+            return 1;
+        }
+    }
+
+    std::string out = want_diff
+        ? cais::report::diff(reports[0], reports[1])
+        : cais::report::summary(reports[0]);
+    std::fputs(out.c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,197 @@
+#include "report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace cais
+{
+namespace report
+{
+
+namespace
+{
+
+constexpr const char *schemaTag = "cais-metrics-v1";
+
+/** Render a number without trailing noise ("12" rather than "12.00"). */
+std::string
+num(double v)
+{
+    if (std::floor(v) == v && std::fabs(v) < 1e15)
+        return strfmt("%.0f", v);
+    return strfmt("%.4g", v);
+}
+
+std::string
+pct(double a, double b)
+{
+    if (a == 0.0)
+        return b == 0.0 ? "+0.00%" : "n/a";
+    return strfmt("%+.2f%%", 100.0 * (b - a) / a);
+}
+
+/** Scalar reading of one metric-tree entry (counters/gauges: value;
+ *  stats/histograms: count). */
+double
+metricScalar(const JsonValue &entry)
+{
+    std::string kind = entry.getString("kind");
+    if (kind == "stats" || kind == "histogram")
+        return entry.getNumber("count");
+    return entry.getNumber("value");
+}
+
+} // namespace
+
+bool
+load(const std::string &text, const std::string &path, Report &out,
+     std::string &error)
+{
+    if (!jsonParse(text, out.doc, error))
+        return false;
+    if (!out.doc.isObject()) {
+        error = "top-level value is not an object";
+        return false;
+    }
+    std::string schema = out.doc.getString("schema");
+    if (schema != schemaTag) {
+        error = "unsupported schema '" + schema + "' (expected " +
+                schemaTag + ")";
+        return false;
+    }
+    const JsonValue *result = out.doc.find("result");
+    if (!result || !result->isObject()) {
+        error = "missing result section";
+        return false;
+    }
+    out.path = path;
+    return true;
+}
+
+bool
+loadFile(const std::string &path, Report &out, std::string &error)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        error = "cannot open " + path;
+        return false;
+    }
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return load(text, path, out, error);
+}
+
+std::string
+summary(const Report &r)
+{
+    std::ostringstream os;
+    os << "report: " << r.path << "\n";
+    os << "strategy: " << r.doc.getString("strategy", "?")
+       << "  workload: " << r.doc.getString("workload", "?") << "\n";
+    if (const JsonValue *cfg = r.doc.find("config"))
+        os << strfmt("config: %d GPUs x %d switches, seed %s\n",
+                     static_cast<int>(cfg->getNumber("numGpus")),
+                     static_cast<int>(cfg->getNumber("numSwitches")),
+                     num(cfg->getNumber("seed")).c_str());
+
+    const JsonValue *result = r.doc.find("result");
+    os << "\n  " << strfmt("%-24s %16s", "metric", "value") << "\n";
+    for (const auto &[key, v] : result->members) {
+        if (!v.isNumber())
+            continue;
+        os << "  "
+           << strfmt("%-24s %16s", key.c_str(), num(v.numVal).c_str())
+           << "\n";
+    }
+
+    if (const JsonValue *m = r.doc.find("metrics"))
+        os << "\nmetric tree: " << m->members.size() << " paths\n";
+    if (const JsonValue *k = r.doc.find("kernels"))
+        os << "kernels: " << k->elems.size() << "\n";
+    return os.str();
+}
+
+std::string
+diff(const Report &a, const Report &b)
+{
+    std::ostringstream os;
+    os << "A: " << a.path << " (" << a.doc.getString("strategy", "?")
+       << ")\n";
+    os << "B: " << b.path << " (" << b.doc.getString("strategy", "?")
+       << ")\n";
+
+    const JsonValue *ra = a.doc.find("result");
+    const JsonValue *rb = b.doc.find("result");
+    os << "\n  "
+       << strfmt("%-24s %16s %16s %10s", "metric", "A", "B", "delta")
+       << "\n";
+    for (const auto &[key, va] : ra->members) {
+        if (!va.isNumber())
+            continue;
+        const JsonValue *vb = rb->find(key);
+        if (!vb || !vb->isNumber())
+            continue;
+        os << "  "
+           << strfmt("%-24s %16s %16s %10s", key.c_str(),
+                     num(va.numVal).c_str(), num(vb->numVal).c_str(),
+                     pct(va.numVal, vb->numVal).c_str())
+           << "\n";
+    }
+
+    // Headline metric-tree movers: the largest relative changes among
+    // paths present in both reports.
+    const JsonValue *ma = a.doc.find("metrics");
+    const JsonValue *mb = b.doc.find("metrics");
+    if (ma && mb && ma->isObject() && mb->isObject()) {
+        struct Mover
+        {
+            std::string path;
+            double va;
+            double vb;
+            double rel;
+        };
+        std::vector<Mover> movers;
+        for (const auto &[path, ea] : ma->members) {
+            const JsonValue *eb = mb->find(path);
+            if (!eb || !ea.isObject() || !eb->isObject())
+                continue;
+            double va = metricScalar(ea);
+            double vb = metricScalar(*eb);
+            if (va == vb)
+                continue;
+            double base = std::max(std::fabs(va), 1.0);
+            movers.push_back({path, va, vb,
+                              std::fabs(vb - va) / base});
+        }
+        std::stable_sort(movers.begin(), movers.end(),
+                         [](const Mover &x, const Mover &y) {
+            return x.rel > y.rel;
+        });
+        if (!movers.empty()) {
+            os << "\ntop metric-tree movers:\n";
+            std::size_t shown = std::min<std::size_t>(movers.size(),
+                                                      10);
+            for (std::size_t i = 0; i < shown; ++i)
+                os << "  "
+                   << strfmt("%-40s %14s -> %-14s %10s",
+                             movers[i].path.c_str(),
+                             num(movers[i].va).c_str(),
+                             num(movers[i].vb).c_str(),
+                             pct(movers[i].va, movers[i].vb).c_str())
+                   << "\n";
+        }
+    }
+    return os.str();
+}
+
+} // namespace report
+} // namespace cais

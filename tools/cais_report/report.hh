@@ -1,0 +1,52 @@
+/**
+ * @file
+ * cais_report core: load cais-metrics-v1 JSON run reports (see
+ * src/analysis/report.hh for the writer) and render either a summary
+ * table for one run or an A/B diff with percent deltas for two. A
+ * library so tests/test_metrics.cc can drive it in-process.
+ */
+
+#ifndef CAIS_TOOLS_CAIS_REPORT_REPORT_HH
+#define CAIS_TOOLS_CAIS_REPORT_REPORT_HH
+
+#include <string>
+
+#include "common/json.hh"
+
+namespace cais
+{
+namespace report
+{
+
+/** One loaded report document. */
+struct Report
+{
+    JsonValue doc;
+    std::string path;
+};
+
+/**
+ * Parse @p text as a cais-metrics-v1 report. Returns false and sets
+ * @p error on malformed JSON, a missing/unknown schema tag, or a
+ * missing result section.
+ */
+bool load(const std::string &text, const std::string &path,
+          Report &out, std::string &error);
+
+/** load() from a file. */
+bool loadFile(const std::string &path, Report &out,
+              std::string &error);
+
+/** Human-readable summary table of one run. */
+std::string summary(const Report &r);
+
+/**
+ * A/B comparison: every scalar in the result section side by side
+ * with the percent delta, plus headline metric-tree deltas.
+ */
+std::string diff(const Report &a, const Report &b);
+
+} // namespace report
+} // namespace cais
+
+#endif // CAIS_TOOLS_CAIS_REPORT_REPORT_HH
