@@ -44,6 +44,11 @@ struct BenchArgs
     {
         BenchArgs a;
         a.params = Params::fromArgs(argc, argv);
+        // --no-verify: skip the cais-verify static gate (the one
+        // bench flag that is not key=value, mirroring cais_verify).
+        for (int i = 1; i < argc; ++i)
+            if (std::string(argv[i]) == "--no-verify")
+                a.params.set("verify", "0");
         a.dimFactor = a.params.getDouble("dim", dim_def);
         a.tokFactor = a.params.getDouble("tok", tok_def);
         a.gpus = static_cast<int>(a.params.getInt("gpus", 8));
@@ -76,6 +81,7 @@ struct BenchArgs
         cfg.traceSampleCycles = static_cast<Cycle>(params.getInt(
             "trace_sample",
             static_cast<std::int64_t>(cfg.traceSampleCycles)));
+        cfg.verify = params.getBool("verify", true);
         return cfg;
     }
 

@@ -1,0 +1,965 @@
+#include "analysis/verify.hh"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "noc/network.hh"
+
+namespace cais
+{
+namespace verify
+{
+
+namespace
+{
+
+const char *
+vcClassName(int v)
+{
+    switch (v) {
+      case 0: return "request";
+      case 1: return "response";
+      case 2: return "reduction";
+      case 3: return "multicast";
+      case 4: return "sync";
+      case 5: return "control";
+      default: return "data";
+    }
+}
+
+const RuleInfo &
+ruleInfo(const char *id)
+{
+    for (const RuleInfo &r : ruleTable())
+        if (std::string(id) == r.id)
+            return r;
+    static const RuleInfo unknown{"??", "", ""};
+    return unknown;
+}
+
+struct Ctx
+{
+    const System &sys;
+    const Options &opts;
+    std::vector<Diagnostic> &out;
+
+    bool
+    enabled(const char *rule) const
+    {
+        return opts.suppress.count(rule) == 0;
+    }
+
+    void
+    report(const char *rule, std::string message,
+           std::vector<std::string> path = {})
+    {
+        out.push_back({rule, std::move(message), ruleInfo(rule).hint,
+                       std::move(path)});
+    }
+};
+
+// ------------------------------------------------------------------
+// V1: channel-dependency-graph acyclicity (Dally & Seitz)
+// ------------------------------------------------------------------
+
+/**
+ * One protocol coupling: a node that received a class-`from` packet
+ * emits a class-`to` packet on the opposite link direction. Together
+ * with the switch forwarding paths these generate every edge of the
+ * channel-dependency graph.
+ */
+struct Coupling
+{
+    VcClass from;
+    VcClass to;
+};
+
+/** Switch-turn couplings (uplink arrival -> downlink emission),
+ *  mirroring the merge unit, NVLS unit and group sync table. */
+const std::vector<Coupling> &
+switchCouplings()
+{
+    static const std::vector<Coupling> c = {
+        // Plain forwarding keeps the class (readReq/readResp/
+        // writeReq/writeAck unicast between GPUs).
+        {VcClass::request, VcClass::request},
+        {VcClass::response, VcClass::response},
+        {VcClass::reduction, VcClass::reduction},
+        {VcClass::control, VcClass::control},
+        // Merge unit: caisLoadReq opens a fetch (readReq to home);
+        // the returning readResp produces caisLoadResp broadcasts;
+        // caisRedReq completion emits the merged write; throttling
+        // feedback rides the control class.
+        {VcClass::response, VcClass::response},
+        {VcClass::reduction, VcClass::control},
+        // NVLS unit: multimem.st replicates as multicast writes plus
+        // a posted-store ack; multimem.ld_reduce fetches via readReq
+        // and responds on the response class; multimem.red updates
+        // every replica on the reduction class.
+        {VcClass::multicast, VcClass::multicast},
+        {VcClass::multicast, VcClass::control},
+        // Group sync table: registration in, release broadcast out.
+        {VcClass::sync, VcClass::sync},
+    };
+    return c;
+}
+
+/** GPU-turn couplings (downlink arrival -> uplink emission): the hub
+ *  serves reads with data responses and acks landed writes. */
+const std::vector<Coupling> &
+gpuCouplings()
+{
+    static const std::vector<Coupling> c = {
+        {VcClass::request, VcClass::response},
+        {VcClass::reduction, VcClass::control},
+        {VcClass::multicast, VcClass::control},
+    };
+    return c;
+}
+
+/** Channel index space: (direction, gpu, switch, vc). */
+struct ChannelGraph
+{
+    int G, S, V;
+    bool unified;
+
+    int
+    id(int dir, GpuId g, SwitchId s, int v) const
+    {
+        return ((dir * G + g) * S + s) * V + v;
+    }
+
+    int
+    count() const
+    {
+        return 2 * G * S * V;
+    }
+
+    std::string
+    name(int node) const
+    {
+        int v = node % V;
+        int rest = node / V;
+        int s = rest % S;
+        rest /= S;
+        int g = rest % G;
+        int dir = rest / G;
+        if (dir == 0)
+            return strfmt("gpu%d->sw%d vc%d(%s)", g, s, v,
+                          vcClassName(v));
+        return strfmt("sw%d->gpu%d vc%d(%s)", s, g, v,
+                      vcClassName(v));
+    }
+
+    int
+    vcOf(VcClass c) const
+    {
+        return static_cast<int>(policedVc(c, unified));
+    }
+};
+
+void
+checkV1(Ctx &cx)
+{
+    const FabricParams &p = cx.sys.config().fabric;
+    ChannelGraph cg{p.numGpus, p.numSwitches, p.sw.numVcs,
+                    p.sw.unifiedDataVc};
+
+    // Adjacency as sorted unique edge targets per node.
+    std::vector<std::vector<int>> adj(
+        static_cast<std::size_t>(cg.count()));
+    auto addEdge = [&](int a, int b) {
+        adj[static_cast<std::size_t>(a)].push_back(b);
+    };
+
+    auto switchTurn = [&](VcClass from, VcClass to) {
+        int a = cg.vcOf(from), b = cg.vcOf(to);
+        for (SwitchId s = 0; s < cg.S; ++s)
+            for (GpuId g = 0; g < cg.G; ++g)
+                for (GpuId d = 0; d < cg.G; ++d)
+                    addEdge(cg.id(0, g, s, a), cg.id(1, d, s, b));
+    };
+    auto gpuTurn = [&](VcClass from, VcClass to) {
+        int a = cg.vcOf(from), b = cg.vcOf(to);
+        for (SwitchId s = 0; s < cg.S; ++s)
+            for (GpuId g = 0; g < cg.G; ++g)
+                addEdge(cg.id(1, g, s, a), cg.id(0, g, s, b));
+    };
+
+    for (const Coupling &c : switchCouplings())
+        switchTurn(c.from, c.to);
+    for (const Coupling &c : gpuCouplings())
+        gpuTurn(c.from, c.to);
+    for (const ExtraCoupling &c : cx.opts.extraCouplings) {
+        if (c.atGpu)
+            gpuTurn(c.from, c.to);
+        else
+            switchTurn(c.from, c.to);
+    }
+
+    for (auto &targets : adj) {
+        std::sort(targets.begin(), targets.end());
+        targets.erase(std::unique(targets.begin(), targets.end()),
+                      targets.end());
+    }
+
+    // Iterative DFS with gray/black coloring; the first back edge
+    // (in ascending node order, so reports are deterministic) yields
+    // the offending cycle.
+    std::vector<std::uint8_t> color(
+        static_cast<std::size_t>(cg.count()), 0);
+    std::vector<int> stack, pathStack;
+    for (int root = 0; root < cg.count(); ++root) {
+        if (color[static_cast<std::size_t>(root)] != 0)
+            continue;
+        // Frames of (node, next-child index).
+        std::vector<std::pair<int, std::size_t>> frames;
+        frames.emplace_back(root, 0);
+        color[static_cast<std::size_t>(root)] = 1;
+        pathStack = {root};
+        while (!frames.empty()) {
+            auto &[node, next] = frames.back();
+            const auto &targets =
+                adj[static_cast<std::size_t>(node)];
+            if (next < targets.size()) {
+                int t = targets[next++];
+                if (color[static_cast<std::size_t>(t)] == 1) {
+                    // Back edge: pathStack from t's position onward
+                    // plus the edge back to t is the cycle.
+                    auto it = std::find(pathStack.begin(),
+                                        pathStack.end(), t);
+                    std::vector<std::string> cyc;
+                    for (; it != pathStack.end(); ++it)
+                        cyc.push_back(cg.name(*it));
+                    cyc.push_back(cg.name(t));
+                    cx.report(
+                        "V1",
+                        strfmt("channel-dependency cycle over %zu "
+                               "port/VC channels: a filled buffer on "
+                               "each waits on the next, so the fabric "
+                               "can deadlock",
+                               cyc.size() - 1),
+                        std::move(cyc));
+                    return;
+                }
+                if (color[static_cast<std::size_t>(t)] == 0) {
+                    color[static_cast<std::size_t>(t)] = 1;
+                    frames.emplace_back(t, 0);
+                    pathStack.push_back(t);
+                }
+            } else {
+                color[static_cast<std::size_t>(node)] = 2;
+                frames.pop_back();
+                pathStack.pop_back();
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// V2: credit conservation per (link, VC)
+// ------------------------------------------------------------------
+
+void
+checkV2(Ctx &cx)
+{
+    const FabricParams &p = cx.sys.config().fabric;
+    const Fabric &fab = cx.sys.fabric();
+
+    // Uplink credits represent switch input-VC buffer slots; the
+    // batched credit-return scheme conserves (credits held + credits
+    // in flight + buffer occupancy) == vcDepth only when the initial
+    // grant matches the receiver capacity exactly.
+    if (p.vcCredits != p.sw.vcDepth) {
+        cx.report(
+            "V2",
+            strfmt("link credits (%d per VC) do not match the "
+                   "switch input buffer depth (%d per VC): credits "
+                   "and buffer slots cannot balance",
+                   p.vcCredits, p.sw.vcDepth),
+            {strfmt("vcCredits=%d", p.vcCredits),
+             strfmt("sw.vcDepth=%d", p.sw.vcDepth)});
+        return; // per-link scan would repeat the same mismatch
+    }
+
+    for (GpuId g = 0; g < p.numGpus; ++g) {
+        for (SwitchId s = 0; s < p.numSwitches; ++s) {
+            const CreditLink *links[2] = {&fab.uplink(g, s),
+                                          &fab.downlink(s, g)};
+            for (const CreditLink *l : links) {
+                if (l->numVcs() != p.sw.numVcs) {
+                    cx.report(
+                        "V2",
+                        strfmt("link %s has %d VCs but the switch "
+                               "arbitrates %d",
+                               l->name().c_str(), l->numVcs(),
+                               p.sw.numVcs),
+                        {l->name()});
+                    continue;
+                }
+                for (int v = 0; v < l->numVcs(); ++v) {
+                    if (l->credits(v) != p.vcCredits) {
+                        cx.report(
+                            "V2",
+                            strfmt("link %s vc%d holds %d credits "
+                                   "before the first event (expected "
+                                   "the full grant of %d)",
+                                   l->name().c_str(), v,
+                                   l->credits(v), p.vcCredits),
+                            {l->name(), strfmt("vc%d", v)});
+                        break;
+                    }
+                    if (l->queueLen(v) != 0) {
+                        cx.report(
+                            "V2",
+                            strfmt("link %s vc%d has %zu packets "
+                                   "queued before the first event",
+                                   l->name().c_str(), v,
+                                   l->queueLen(v)),
+                            {l->name(), strfmt("vc%d", v)});
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// V3: address-hash routing coverage for mergeable sessions
+// ------------------------------------------------------------------
+
+bool
+isSessionKind(RemoteOpKind k)
+{
+    return k == RemoteOpKind::caisLoad || k == RemoteOpKind::caisRed ||
+           k == RemoteOpKind::nvlsLdReduce ||
+           k == RemoteOpKind::nvlsSt || k == RemoteOpKind::nvlsRed;
+}
+
+const char *
+kindName(RemoteOpKind k)
+{
+    switch (k) {
+      case RemoteOpKind::plainLoad: return "ld.global";
+      case RemoteOpKind::plainWrite: return "st.global";
+      case RemoteOpKind::nvlsLdReduce: return "multimem.ld_reduce";
+      case RemoteOpKind::nvlsSt: return "multimem.st";
+      case RemoteOpKind::nvlsRed: return "multimem.red";
+      case RemoteOpKind::caisLoad: return "ld.cais";
+      case RemoteOpKind::caisRed: return "red.cais";
+      default: return "?";
+    }
+}
+
+void
+checkV3(Ctx &cx)
+{
+    const SystemConfig &sc = cx.sys.config();
+    const std::uint64_t interleave = sc.fabric.interleaveBytes;
+    const std::uint64_t chunk = sc.gpu.chunkBytes;
+    const Fabric &fab = cx.sys.fabric();
+
+    // Per (kernel, kind, base, bytes): contribution count per GPU and
+    // the expected participant counts the issuers carry. std::map so
+    // diagnostics come out in a deterministic order.
+    struct OpGroup
+    {
+        std::map<GpuId, int> perGpu;
+        std::set<int> expected;
+    };
+    std::map<std::tuple<KernelId, int, Addr, std::uint64_t>, OpGroup>
+        groups;
+
+    for (std::size_t ki = 0; ki < cx.sys.numKernels(); ++ki) {
+        const KernelDesc &k =
+            cx.sys.kernel(static_cast<KernelId>(ki));
+        for (GpuId g = 0;
+             g < static_cast<GpuId>(k.grids.size()); ++g) {
+            for (const TbDesc &tb :
+                 k.grids[static_cast<std::size_t>(g)]) {
+                auto scanOps = [&](const std::vector<RemoteOp> &ops) {
+                    for (const RemoteOp &op : ops) {
+                        if (!isSessionKind(op.kind))
+                            continue;
+                        // A session chunk spanning two interleave
+                        // blocks splits one address class across two
+                        // switches (routing keys on the chunk base).
+                        bool aligned = interleave % chunk == 0 &&
+                                       op.base % chunk == 0;
+                        if (!aligned) {
+                            std::uint64_t off = 0;
+                            int scanned = 0;
+                            while (off < op.bytes &&
+                                   scanned++ < 4096) {
+                                std::uint64_t n = std::min<
+                                    std::uint64_t>(chunk,
+                                                   op.bytes - off);
+                                Addr a = op.base + off;
+                                if (a / interleave !=
+                                    (a + n - 1) / interleave) {
+                                    cx.report(
+                                        "V3",
+                                        strfmt(
+                                            "kernel %s: %s chunk at "
+                                            "0x%llx (+%llu B) "
+                                            "straddles interleave "
+                                            "blocks, splitting one "
+                                            "address class across "
+                                            "switches %d and %d",
+                                            k.name.c_str(),
+                                            kindName(op.kind),
+                                            static_cast<unsigned long
+                                                            long>(a),
+                                            static_cast<unsigned long
+                                                            long>(n),
+                                            fab.routeAddr(a),
+                                            fab.routeAddr(a + n -
+                                                          1)),
+                                        {k.name,
+                                         strfmt("addr=0x%llx",
+                                                static_cast<
+                                                    unsigned long
+                                                        long>(a)),
+                                         strfmt("sw%d",
+                                                fab.routeAddr(a)),
+                                         strfmt("sw%d",
+                                                fab.routeAddr(
+                                                    a + n - 1))});
+                                    break;
+                                }
+                                off += n;
+                            }
+                        }
+                        if (op.kind == RemoteOpKind::caisRed ||
+                            op.kind == RemoteOpKind::nvlsRed ||
+                            op.kind == RemoteOpKind::caisLoad) {
+                            OpGroup &grp = groups[{
+                                k.id, static_cast<int>(op.kind),
+                                op.base, op.bytes}];
+                            ++grp.perGpu[g];
+                            grp.expected.insert(op.expected);
+                        }
+                    }
+                };
+                scanOps(tb.pullOps);
+                scanOps(tb.pushOps);
+            }
+        }
+    }
+
+    for (const auto &[key, grp] : groups) {
+        const auto &[kid, kind, base, bytes] = key;
+        const KernelDesc &k = cx.sys.kernel(kid);
+        RemoteOpKind rk = static_cast<RemoteOpKind>(kind);
+        if (grp.expected.size() > 1) {
+            std::vector<std::string> path = {k.name,
+                                             kindName(rk)};
+            for (int e : grp.expected)
+                path.push_back(strfmt("expected=%d", e));
+            cx.report(
+                "V3",
+                strfmt("kernel %s: GPUs disagree on the expected "
+                       "participant count of the %s session at "
+                       "0x%llx",
+                       k.name.c_str(), kindName(rk),
+                       static_cast<unsigned long long>(base)),
+                std::move(path));
+            continue;
+        }
+        // Reduction sessions complete only when exactly `expected`
+        // contributions arrive; a participant-count mismatch stalls
+        // the session (or trips the duplicate-contribution check).
+        if (rk == RemoteOpKind::caisRed ||
+            rk == RemoteOpKind::nvlsRed) {
+            int expected = *grp.expected.begin();
+            if (expected <= 0)
+                expected = cx.sys.numGpus();
+            int issuers = static_cast<int>(grp.perGpu.size());
+            if (issuers != expected) {
+                cx.report(
+                    "V3",
+                    strfmt("kernel %s: %s session at 0x%llx expects "
+                           "%d contributions but %d GPU(s) issue it",
+                           k.name.c_str(), kindName(rk),
+                           static_cast<unsigned long long>(base),
+                           expected, issuers),
+                    {k.name, strfmt("addr=0x%llx",
+                                    static_cast<unsigned long long>(
+                                        base)),
+                     strfmt("expected=%d", expected),
+                     strfmt("issuers=%d", issuers)});
+                continue;
+            }
+            for (const auto &[g, n] : grp.perGpu) {
+                if (n != 1) {
+                    cx.report(
+                        "V3",
+                        strfmt("kernel %s: GPU %d contributes %d "
+                               "times to the %s session at 0x%llx "
+                               "(exactly one contribution per GPU "
+                               "closes the session)",
+                               k.name.c_str(), g, n, kindName(rk),
+                               static_cast<unsigned long long>(
+                                   base)),
+                        {k.name, strfmt("gpu%d", g),
+                         strfmt("contribs=%d", n)});
+                    break;
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// V4: TB-group / Group-Sync-Table consistency
+// ------------------------------------------------------------------
+
+void
+checkV4(Ctx &cx)
+{
+    const SystemConfig &sc = cx.sys.config();
+    const int G = cx.sys.numGpus();
+
+    // The sync table tracks participants in a 64-bit mask.
+    if (G > 64) {
+        cx.report("V4",
+                  strfmt("%d GPUs exceed the 64-entry group-sync "
+                         "participant mask",
+                         G),
+                  {strfmt("numGpus=%d", G)});
+    }
+
+    for (std::size_t ki = 0; ki < cx.sys.numKernels(); ++ki) {
+        const KernelDesc &k =
+            cx.sys.kernel(static_cast<KernelId>(ki));
+        if (!k.preLaunchSync && !k.preAccessSync)
+            continue;
+        std::map<GroupId, std::map<GpuId, int>> members;
+        for (GpuId g = 0;
+             g < static_cast<GpuId>(k.grids.size()); ++g)
+            for (const TbDesc &tb :
+                 k.grids[static_cast<std::size_t>(g)])
+                if (tb.group != invalidId)
+                    ++members[tb.group][g];
+
+        for (const auto &[group, perGpu] : members) {
+            bool oversized = false;
+            for (const auto &[g, n] : perGpu) {
+                if (n > 1) {
+                    cx.report(
+                        "V4",
+                        strfmt("kernel %s: TB group %lld has %d TBs "
+                               "on GPU %d (the sync table counts "
+                               "each GPU once, so extra TBs never "
+                               "release)",
+                               k.name.c_str(),
+                               static_cast<long long>(group), n, g),
+                        {k.name,
+                         strfmt("group=%lld",
+                                static_cast<long long>(group)),
+                         strfmt("gpu%d", g), strfmt("tbs=%d", n)});
+                    oversized = true;
+                    break;
+                }
+            }
+            if (oversized)
+                continue;
+            if (static_cast<int>(perGpu.size()) != G) {
+                std::vector<std::string> path = {
+                    k.name,
+                    strfmt("group=%lld",
+                           static_cast<long long>(group))};
+                for (GpuId g = 0; g < G; ++g)
+                    if (!perGpu.count(g))
+                        path.push_back(strfmt("missing gpu%d", g));
+                cx.report(
+                    "V4",
+                    strfmt("kernel %s: TB group %lld spans %zu "
+                           "GPU(s) but the release broadcast waits "
+                           "for all %d",
+                           k.name.c_str(),
+                           static_cast<long long>(group),
+                           perGpu.size(), G),
+                    std::move(path));
+            }
+        }
+    }
+
+    // Throttle-threshold reachability: the merge unit counts open
+    // sessions per group, which is bounded by the merging-table entry
+    // capacity and by the fleet-wide outstanding-load cap.
+    const MergeParams &mp = sc.inswitch.merge;
+    if (mp.throttleEnabled && mp.throttleThreshold > 0) {
+        if (mp.tableBytesPerPort > 0 && mp.chunkBytes > 0) {
+            std::uint64_t entries =
+                mp.tableBytesPerPort / mp.chunkBytes;
+            if (static_cast<std::uint64_t>(mp.throttleThreshold) >
+                entries) {
+                cx.report(
+                    "V4",
+                    strfmt("throttle threshold %d exceeds the %llu "
+                           "merging-table entries per port, so the "
+                           "hint level is unreachable",
+                           mp.throttleThreshold,
+                           static_cast<unsigned long long>(entries)),
+                    {strfmt("throttleThreshold=%d",
+                            mp.throttleThreshold),
+                     strfmt("tableEntriesPerPort=%llu",
+                            static_cast<unsigned long long>(
+                                entries))});
+            }
+        }
+        std::uint64_t fleetCap =
+            static_cast<std::uint64_t>(G) *
+            static_cast<std::uint64_t>(
+                sc.gpu.maxCaisLoadOutstanding);
+        if (static_cast<std::uint64_t>(mp.throttleThreshold) >
+            fleetCap) {
+            cx.report(
+                "V4",
+                strfmt("throttle threshold %d exceeds the fleet-wide "
+                       "outstanding-request cap %llu (%d GPUs x %d), "
+                       "so the hint level is unreachable",
+                       mp.throttleThreshold,
+                       static_cast<unsigned long long>(fleetCap), G,
+                       sc.gpu.maxCaisLoadOutstanding),
+                {strfmt("throttleThreshold=%d", mp.throttleThreshold),
+                 strfmt("fleetCap=%llu",
+                        static_cast<unsigned long long>(fleetCap))});
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// V5: kernel-graph sanity
+// ------------------------------------------------------------------
+
+void
+checkV5(Ctx &cx)
+{
+    const std::size_t N = cx.sys.numKernels();
+
+    // Tracker -> producing kernels.
+    std::map<int, std::vector<std::size_t>> producers;
+    for (std::size_t ki = 0; ki < N; ++ki) {
+        const KernelDesc &k =
+            cx.sys.kernel(static_cast<KernelId>(ki));
+        if (k.producesTracker != invalidId)
+            producers[k.producesTracker].push_back(ki);
+    }
+
+    // Dependency edges: explicit kernelDeps plus tile-level
+    // producer/consumer edges through the trackers.
+    std::vector<std::vector<std::size_t>> adj(N);
+    for (std::size_t ki = 0; ki < N; ++ki) {
+        const KernelDesc &k =
+            cx.sys.kernel(static_cast<KernelId>(ki));
+        for (KernelId d : k.kernelDeps) {
+            if (d < 0 || static_cast<std::size_t>(d) >= N) {
+                cx.report("V5",
+                          strfmt("kernel %s depends on unknown "
+                                 "kernel id %d",
+                                 k.name.c_str(), d),
+                          {k.name, strfmt("dep=%d", d)});
+                continue;
+            }
+            adj[static_cast<std::size_t>(d)].push_back(ki);
+        }
+        std::set<int> depTrackers;
+        for (const auto &grid : k.grids)
+            for (const TbDesc &tb : grid)
+                for (const TileRef &ref : tb.deps)
+                    if (ref.tracker != invalidId)
+                        depTrackers.insert(ref.tracker);
+        for (int t : depTrackers) {
+            auto it = producers.find(t);
+            if (it == producers.end())
+                continue;
+            for (std::size_t p : it->second)
+                if (p != ki)
+                    adj[p].push_back(ki);
+        }
+    }
+    for (auto &targets : adj) {
+        std::sort(targets.begin(), targets.end());
+        targets.erase(std::unique(targets.begin(), targets.end()),
+                      targets.end());
+    }
+
+    auto kernelName = [&](std::size_t ki) {
+        return cx.sys.kernel(static_cast<KernelId>(ki)).name;
+    };
+
+    // Cycle detection (DFS, deterministic order).
+    std::vector<std::uint8_t> color(N, 0);
+    std::vector<std::size_t> pathStack;
+    bool cycleFound = false;
+    for (std::size_t root = 0; root < N && !cycleFound; ++root) {
+        if (color[root] != 0)
+            continue;
+        std::vector<std::pair<std::size_t, std::size_t>> frames;
+        frames.emplace_back(root, 0);
+        color[root] = 1;
+        pathStack = {root};
+        while (!frames.empty() && !cycleFound) {
+            auto &[node, next] = frames.back();
+            if (next < adj[node].size()) {
+                std::size_t t = adj[node][next++];
+                if (color[t] == 1) {
+                    auto it = std::find(pathStack.begin(),
+                                        pathStack.end(), t);
+                    std::vector<std::string> cyc;
+                    for (; it != pathStack.end(); ++it)
+                        cyc.push_back(kernelName(*it));
+                    cyc.push_back(kernelName(t));
+                    cx.report(
+                        "V5",
+                        strfmt("kernel dependency cycle over %zu "
+                               "kernel(s): none of them can ever "
+                               "launch",
+                               cyc.size() - 1),
+                        std::move(cyc));
+                    cycleFound = true;
+                    break;
+                }
+                if (color[t] == 0) {
+                    color[t] = 1;
+                    frames.emplace_back(t, 0);
+                    pathStack.push_back(t);
+                }
+            } else {
+                color[node] = 2;
+                frames.pop_back();
+                pathStack.pop_back();
+            }
+        }
+    }
+    if (cycleFound)
+        return; // reachability below assumes a DAG
+
+    // Reachability closure for the overlap analysis.
+    std::vector<std::vector<bool>> reach(N,
+                                         std::vector<bool>(N, false));
+    for (std::size_t ki = N; ki-- > 0;) {
+        // adj targets always have larger topological depth; a reverse
+        // index sweep is not a topological order, so iterate to a
+        // fixed point instead (N is small: one kernel per op stage).
+        for (std::size_t t : adj[ki])
+            reach[ki][t] = true;
+    }
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t ki = 0; ki < N; ++ki)
+            for (std::size_t t : adj[ki])
+                for (std::size_t x = 0; x < N; ++x)
+                    if (reach[t][x] && !reach[ki][x]) {
+                        reach[ki][x] = true;
+                        changed = true;
+                    }
+    }
+
+    // Traffic direction of each kernel: +1 pure pull (stresses the
+    // switch-to-GPU direction), -1 pure push (GPU-to-switch), 0 mixed
+    // or local-only.
+    std::vector<int> dir(N, 0);
+    std::vector<bool> partial(N, false);
+    for (std::size_t ki = 0; ki < N; ++ki) {
+        const KernelDesc &k =
+            cx.sys.kernel(static_cast<KernelId>(ki));
+        std::uint64_t pull = 0, push = 0;
+        for (const auto &grid : k.grids)
+            for (const TbDesc &tb : grid) {
+                for (const RemoteOp &op : tb.pullOps)
+                    pull += op.bytes;
+                for (const RemoteOp &op : tb.pushOps)
+                    push += op.bytes;
+            }
+        if (pull > 0 && push == 0)
+            dir[ki] = 1;
+        else if (push > 0 && pull == 0)
+            dir[ki] = -1;
+        partial[ki] = k.smFrom > 0.0 || k.smTo < 1.0;
+    }
+
+    // Asymmetric-overlap pairs: SM-disjoint, unordered kernels that
+    // both press the same link direction saturate it instead of
+    // overlapping complementary traffic (Sec. III-C.2).
+    for (std::size_t i = 0; i < N; ++i) {
+        for (std::size_t j = i + 1; j < N; ++j) {
+            if (!partial[i] || !partial[j])
+                continue;
+            if (dir[i] == 0 || dir[i] != dir[j])
+                continue;
+            if (reach[i][j] || reach[j][i])
+                continue;
+            const KernelDesc &a =
+                cx.sys.kernel(static_cast<KernelId>(i));
+            const KernelDesc &b =
+                cx.sys.kernel(static_cast<KernelId>(j));
+            bool disjoint = a.smTo <= b.smFrom || b.smTo <= a.smFrom;
+            if (!disjoint)
+                continue;
+            cx.report(
+                "V5",
+                strfmt("asymmetric-overlap pair %s / %s runs on "
+                       "disjoint SM partitions with no ordering but "
+                       "both %s: the shared link direction "
+                       "saturates instead of overlapping",
+                       a.name.c_str(), b.name.c_str(),
+                       dir[i] > 0 ? "pull" : "push"),
+                {a.name, b.name, dir[i] > 0 ? "pull" : "push"});
+        }
+    }
+}
+
+} // namespace
+
+// ------------------------------------------------------------------
+// Public API
+// ------------------------------------------------------------------
+
+const std::vector<RuleInfo> &
+ruleTable()
+{
+    static const std::vector<RuleInfo> table = {
+        {"V1",
+         "virtual-channel channel-dependency graph must be acyclic "
+         "across switch chips and credit links",
+         "break the coupling cycle: give the generated traffic class "
+         "its own VC or decouple buffer hold from emission"},
+        {"V2",
+         "link credits, receiver buffer capacities and batched credit "
+         "returns must balance per (link, VC)",
+         "grant exactly the receiver buffer depth in credits "
+         "(FabricParams::vcCredits == SwitchParams::vcDepth)"},
+        {"V3",
+         "every mergeable address class maps to exactly one switch "
+         "and all GPUs agree on session membership",
+         "align session bases to the chunk size, keep the interleave "
+         "a multiple of it, and issue one contribution per "
+         "participating GPU"},
+        {"V4",
+         "TB groups match the Group Sync Table: one TB per "
+         "participating GPU on every GPU, masks and throttle "
+         "thresholds within capacity",
+         "emit one TB per (group, GPU) across all GPUs and keep the "
+         "throttle threshold within table and outstanding-request "
+         "capacity"},
+        {"V5",
+         "kernel and tile-level producer/consumer dependencies are "
+         "acyclic; asymmetric-overlap pairs have complementary "
+         "traffic directions",
+         "remove the dependency back edge, or pair a pull-direction "
+         "kernel with a push-direction one on the disjoint SM "
+         "partition"},
+    };
+    return table;
+}
+
+std::string
+VerifyResult::text() const
+{
+    if (diagnostics.empty())
+        return "cais-verify: clean (0 diagnostics)\n";
+    std::string out =
+        strfmt("cais-verify: %zu diagnostic(s)\n", diagnostics.size());
+    for (const Diagnostic &d : diagnostics) {
+        out += "[" + d.id + "] " + d.message + "\n";
+        if (!d.hint.empty())
+            out += "  fix: " + d.hint + "\n";
+        if (!d.path.empty()) {
+            out += "  path: ";
+            for (std::size_t i = 0; i < d.path.size(); ++i) {
+                if (i)
+                    out += " -> ";
+                out += d.path[i];
+            }
+            out += "\n";
+        }
+    }
+    return out;
+}
+
+std::string
+VerifyResult::json() const
+{
+    JsonWriter w;
+    writeJson(w);
+    return w.str();
+}
+
+void
+VerifyResult::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.field("schema", verifySchemaVersion);
+    if (!strategy.empty())
+        w.field("strategy", strategy);
+    if (!workload.empty())
+        w.field("workload", workload);
+    w.key("counts").beginObject();
+    for (const RuleInfo &r : ruleTable()) {
+        std::uint64_t n = 0;
+        for (const Diagnostic &d : diagnostics)
+            if (d.id == r.id)
+                ++n;
+        w.field(r.id, n);
+    }
+    w.endObject();
+    w.key("diagnostics").beginArray();
+    for (const Diagnostic &d : diagnostics) {
+        w.beginObject();
+        w.field("id", d.id);
+        w.field("message", d.message);
+        w.field("hint", d.hint);
+        w.key("path").beginArray();
+        for (const std::string &p : d.path)
+            w.value(p);
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+VerifyResult
+verifySystem(const System &sys, const Options &opts)
+{
+    VerifyResult r;
+    r.strategy = opts.strategy;
+    r.workload = opts.workload;
+    Ctx cx{sys, opts, r.diagnostics};
+    if (cx.enabled("V1"))
+        checkV1(cx);
+    if (cx.enabled("V2"))
+        checkV2(cx);
+    if (cx.enabled("V3"))
+        checkV3(cx);
+    if (cx.enabled("V4"))
+        checkV4(cx);
+    if (cx.enabled("V5"))
+        checkV5(cx);
+    return r;
+}
+
+VerifyResult
+verifyRun(const StrategySpec &spec, const OpGraph &graph,
+          const RunConfig &cfg, const Options &opts)
+{
+    cfg.validate();
+    System sys(cfg.toSystemConfig(spec));
+    GraphLowering lowering(sys, graph, spec.opts);
+    lowering.lower();
+    Options o = opts;
+    if (o.strategy.empty())
+        o.strategy = spec.name;
+    return verifySystem(sys, o);
+}
+
+} // namespace verify
+} // namespace cais

@@ -84,6 +84,18 @@ Fabric::downlink(SwitchId s, GpuId g)
     return *down[static_cast<std::size_t>(s)][static_cast<std::size_t>(g)];
 }
 
+const CreditLink &
+Fabric::uplink(GpuId g, SwitchId s) const
+{
+    return *up[static_cast<std::size_t>(g)][static_cast<std::size_t>(s)];
+}
+
+const CreditLink &
+Fabric::downlink(SwitchId s, GpuId g) const
+{
+    return *down[static_cast<std::size_t>(s)][static_cast<std::size_t>(g)];
+}
+
 std::vector<const CreditLink *>
 Fabric::allLinks(int dir) const
 {

@@ -51,6 +51,8 @@ class Fabric
 
     CreditLink &uplink(GpuId g, SwitchId s);
     CreditLink &downlink(SwitchId s, GpuId g);
+    const CreditLink &uplink(GpuId g, SwitchId s) const;
+    const CreditLink &downlink(SwitchId s, GpuId g) const;
 
     const FabricParams &params() const { return p; }
     const DeterministicRouting &routing() const { return route; }

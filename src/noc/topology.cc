@@ -7,22 +7,36 @@
 namespace cais
 {
 
+std::string
+FabricParams::validationError() const
+{
+    if (numGpus < 2)
+        return strfmt("fabric needs at least 2 GPUs (got %d)",
+                      numGpus);
+    if (numSwitches < 1)
+        return strfmt("fabric needs at least 1 switch (got %d)",
+                      numSwitches);
+    if (perGpuBytesPerCycle <= 0.0)
+        return "per-GPU bandwidth must be positive";
+    if (sw.numVcs < 1)
+        return "switch needs at least one VC";
+    if (vcCredits < 1 || sw.vcDepth < 1)
+        return "VC buffering must be at least one packet";
+    if (sw.numVcs < static_cast<int>(VcClass::numClasses))
+        return strfmt("switch needs >= %d VCs (got %d)",
+                      static_cast<int>(VcClass::numClasses),
+                      sw.numVcs);
+    if (interleaveBytes == 0)
+        return "interleave granularity must be non-zero";
+    return "";
+}
+
 void
 FabricParams::validate() const
 {
-    if (numGpus < 2)
-        fatal("fabric needs at least 2 GPUs (got %d)", numGpus);
-    if (numSwitches < 1)
-        fatal("fabric needs at least 1 switch (got %d)", numSwitches);
-    if (perGpuBytesPerCycle <= 0.0)
-        fatal("per-GPU bandwidth must be positive");
-    if (vcCredits < 1 || sw.vcDepth < 1)
-        fatal("VC buffering must be at least one packet");
-    if (sw.numVcs < static_cast<int>(VcClass::numClasses))
-        fatal("switch needs >= %d VCs (got %d)",
-              static_cast<int>(VcClass::numClasses), sw.numVcs);
-    if (interleaveBytes == 0)
-        fatal("interleave granularity must be non-zero");
+    std::string err = validationError();
+    if (!err.empty())
+        fatal("%s", err.c_str());
 }
 
 std::string

@@ -51,6 +51,9 @@ struct FabricParams
         return perGpuBytesPerCycle / static_cast<double>(numSwitches);
     }
 
+    /** First inconsistency as a message, or "" when valid. */
+    std::string validationError() const;
+
     /** Abort with a message if the configuration is inconsistent. */
     void validate() const;
 

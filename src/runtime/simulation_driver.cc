@@ -5,11 +5,75 @@
 #include "analysis/deep_trace.hh"
 #include "analysis/report.hh"
 #include "analysis/trace.hh"
+#include "analysis/verify.hh"
 #include "common/log.hh"
 #include "common/metrics.hh"
 
 namespace cais
 {
+
+namespace
+{
+
+bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+std::string
+RunConfig::validationError() const
+{
+    if (numGpus < 2)
+        return strfmt("numGpus must be >= 2 (got %d)", numGpus);
+    if (numGpus > 64)
+        return strfmt("numGpus must be <= 64: the group-sync table "
+                      "tracks participants in a 64-bit mask (got %d)",
+                      numGpus);
+    if (numSwitches < 1)
+        return strfmt("numSwitches must be >= 1 (got %d)",
+                      numSwitches);
+    if (!isPowerOfTwo(chunkBytes))
+        return strfmt("chunkBytes is the address-hash interleave "
+                      "width and must be a non-zero power of two "
+                      "(got %u)",
+                      chunkBytes);
+    if (perGpuBwPerDir <= 0.0)
+        return strfmt("perGpuBwPerDir must be positive (got %g)",
+                      perGpuBwPerDir);
+    if (utilBinWidth == 0)
+        return "utilBinWidth must be non-zero";
+    if (maxEvents == 0)
+        return "maxEvents must be non-zero";
+    if (mergeTimeout == 0)
+        return "mergeTimeout must be non-zero";
+    if (mergeTableEntriesPerPort < 0)
+        return strfmt("mergeTableEntriesPerPort must be >= 0 "
+                      "(got %d)",
+                      mergeTableEntriesPerPort);
+    if (gpu.numSms < 1)
+        return strfmt("gpu.numSms must be >= 1 (got %d)",
+                      gpu.numSms);
+    if (gpu.maxCaisLoadOutstanding < 1)
+        return strfmt("gpu.maxCaisLoadOutstanding must be >= 1 "
+                      "(got %d)",
+                      gpu.maxCaisLoadOutstanding);
+    // Fabric-level bounds (VC count, credits, buffer depths) on the
+    // derived SystemConfig, so zero-VC / zero-credit setups are
+    // rejected here with the same message the Fabric would fatal
+    // with instead of constructing a nonsense System.
+    return toSystemConfig(StrategySpec{}).fabric.validationError();
+}
+
+void
+RunConfig::validate() const
+{
+    std::string err = validationError();
+    if (!err.empty())
+        fatal("invalid RunConfig: %s", err.c_str());
+}
 
 SystemConfig
 RunConfig::toSystemConfig(const StrategySpec &spec) const
@@ -49,6 +113,7 @@ runGraph(const StrategySpec &spec, const OpGraph &graph,
          const RunConfig &cfg, const std::string &workload_name)
 {
     ScopedLogLevel verbosity(cfg.verbosity);
+    cfg.validate();
     System sys(cfg.toSystemConfig(spec));
 
     // The registry holds non-owning readers; registering before the
@@ -72,6 +137,23 @@ runGraph(const StrategySpec &spec, const OpGraph &graph,
 
     GraphLowering lowering(sys, graph, spec.opts);
     lowering.lower();
+
+    // Static verification gate (DESIGN.md §6e): a read-only pass over
+    // the lowered system, so a verified run is bit-identical to an
+    // unverified one.
+    if (cfg.verify) {
+        verify::Options vo;
+        vo.strategy = spec.name;
+        vo.workload = workload_name;
+        vo.suppress.insert(cfg.verifySuppress.begin(),
+                           cfg.verifySuppress.end());
+        verify::VerifyResult vr = verify::verifySystem(sys, vo);
+        if (!vr.ok())
+            fatal("static verification failed for %s / %s:\n%s",
+                  spec.name.c_str(), workload_name.c_str(),
+                  vr.text().c_str());
+    }
+
     sys.run();
 
     RunResult r;

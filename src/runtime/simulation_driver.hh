@@ -80,6 +80,24 @@ struct RunConfig
      *  log level). */
     LogLevel verbosity = LogLevel::normal;
 
+    /**
+     * Run the cais-verify static checker (analysis/verify.hh) over
+     * the lowered system before the first event and abort on any
+     * diagnostic. The pass is read-only, so a verified run stays
+     * bit-identical to an unverified one; benches expose --no-verify
+     * as the escape hatch.
+     */
+    bool verify = true;
+
+    /** Rule ids ("V1".."V5") the verification gate should skip. */
+    std::vector<std::string> verifySuppress;
+
+    /** First bounds violation as a message, or "" when valid. */
+    std::string validationError() const;
+
+    /** Abort with a clear message on the first bounds violation. */
+    void validate() const;
+
     /** Build the system configuration for a strategy. */
     SystemConfig toSystemConfig(const StrategySpec &spec) const;
 };

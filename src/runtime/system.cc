@@ -225,6 +225,12 @@ System::kernel(KernelId k)
     return kernels.at(static_cast<std::size_t>(k))->desc;
 }
 
+const KernelDesc &
+System::kernel(KernelId k) const
+{
+    return kernels.at(static_cast<std::size_t>(k))->desc;
+}
+
 void
 System::run()
 {

@@ -95,9 +95,18 @@ class System : public DataArrivalHandler
 
     EventQueue &eq() { return queue; }
     Fabric &fabric() { return *fab; }
+    const Fabric &fabric() const { return *fab; }
     int numGpus() const { return cfg.fabric.numGpus; }
     GpuCore &gpu(GpuId g) { return *gpus[static_cast<std::size_t>(g)]; }
+    const GpuCore &gpu(GpuId g) const
+    {
+        return *gpus[static_cast<std::size_t>(g)];
+    }
     SwitchComputeComplex &switchCompute(SwitchId s)
+    {
+        return *complexes[static_cast<std::size_t>(s)];
+    }
+    const SwitchComputeComplex &switchCompute(SwitchId s) const
     {
         return *complexes[static_cast<std::size_t>(s)];
     }
@@ -135,6 +144,7 @@ class System : public DataArrivalHandler
     KernelId addKernel(KernelDesc desc);
 
     KernelDesc &kernel(KernelId k);
+    const KernelDesc &kernel(KernelId k) const;
 
     std::size_t numKernels() const { return kernels.size(); }
 

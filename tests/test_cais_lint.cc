@@ -1,6 +1,6 @@
 /**
  * @file
- * cais-lint rule tests: each determinism rule D1..D6 gets at least
+ * cais-lint rule tests: each determinism rule D1..D7 gets at least
  * one positive fixture (the hazard is reported) and one negative
  * fixture (the deterministic idiom passes), plus coverage of the
  * suppression-comment grammar and the baseline diff machinery.
@@ -299,6 +299,94 @@ TEST(LintD6, PlainLambdaCallbackPasses)
 }
 
 // --------------------------------------------------------------------
+// D7: iteration over unordered containers returned by functions
+// --------------------------------------------------------------------
+
+TEST(LintD7, RangeForOverFunctionResultIsFlagged)
+{
+    auto fs = lintOne(
+        "src/runtime/x.cc",
+        "#include <unordered_map>\n"
+        "std::unordered_map<int, int> liveSet();\n"
+        "void f() {\n"
+        "    for (auto &kv : liveSet()) { (void)kv; }\n"
+        "}\n");
+    ASSERT_EQ(countRule(fs, "D7"), 1);
+    EXPECT_EQ(fs[0].line, 4);
+    // D1 deliberately skips idents followed by '(' -- D7 owns this.
+    EXPECT_EQ(countRule(fs, "D1"), 0);
+}
+
+TEST(LintD7, BeginOnFunctionResultIsFlagged)
+{
+    auto fs = lintOne(
+        "src/runtime/x.cc",
+        "#include <unordered_set>\n"
+        "struct T { std::unordered_set<int> pending() const; };\n"
+        "int f(const T &t) {\n"
+        "    return *t.pending().begin();\n"
+        "}\n");
+    ASSERT_EQ(countRule(fs, "D7"), 1);
+    EXPECT_EQ(fs[0].line, 4);
+}
+
+TEST(LintD7, DeclarationPooledFromHeaderFlagsCallInSource)
+{
+    Linter l;
+    l.addSource("src/runtime/tbl.hh",
+                "#include <unordered_map>\n"
+                "struct T { std::unordered_map<int, int> live() const; };\n");
+    l.addSource("src/runtime/tbl.cc",
+                "#include \"tbl.hh\"\n"
+                "void dump(const T &t) {\n"
+                "    for (auto &kv : t.live()) { (void)kv; }\n"
+                "}\n");
+    auto fs = l.run();
+    ASSERT_EQ(countRule(fs, "D7"), 1);
+    EXPECT_EQ(fs[0].file, "src/runtime/tbl.cc");
+}
+
+TEST(LintD7, OrderedReturnTypeAndLookupOnlyUsePass)
+{
+    auto fs = lintOne(
+        "src/runtime/x.cc",
+        "#include <map>\n"
+        "#include <unordered_map>\n"
+        "std::map<int, int> ordered();\n"
+        "std::unordered_map<int, int> lookup();\n"
+        "int f() {\n"
+        "    for (auto &kv : ordered()) { (void)kv; }\n"
+        "    return lookup().count(3);\n"
+        "}\n");
+    EXPECT_EQ(countRule(fs, "D7"), 0);
+}
+
+TEST(LintD7, TestsAndBenchAreOutOfScope)
+{
+    std::string src = "#include <unordered_map>\n"
+                      "std::unordered_map<int, int> liveSet();\n"
+                      "void f() {\n"
+                      "    for (auto &kv : liveSet()) { (void)kv; }\n"
+                      "}\n";
+    EXPECT_EQ(countRule(lintOne("tests/t.cc", src), "D7"), 0);
+    EXPECT_EQ(countRule(lintOne("bench/b.cc", src), "D7"), 0);
+}
+
+TEST(LintD7, SuppressionCommentIsHonored)
+{
+    auto fs = lintOne(
+        "src/runtime/x.cc",
+        "#include <unordered_map>\n"
+        "std::unordered_map<int, int> liveSet();\n"
+        "void f() {\n"
+        "    // cais-lint: allow(D7) -- order-insensitive sum\n"
+        "    for (auto &kv : liveSet()) { (void)kv; }\n"
+        "}\n");
+    EXPECT_EQ(countRule(fs, "D7"), 0);
+    EXPECT_EQ(countRule(fs, "X1"), 0);
+}
+
+// --------------------------------------------------------------------
 // Suppressions
 // --------------------------------------------------------------------
 
@@ -411,8 +499,8 @@ TEST(LintLexer, CommentsAndStringsAreInvisible)
 
 TEST(LintLexer, RuleTableCoversAllRules)
 {
-    std::vector<std::string> want = {"D1", "D2", "D3",
-                                     "D4", "D5", "D6", "X1"};
+    std::vector<std::string> want = {"D1", "D2", "D3", "D4",
+                                     "D5", "D6", "D7", "X1"};
     const auto &table = cais::lint::ruleTable();
     ASSERT_EQ(table.size(), want.size());
     for (std::size_t i = 0; i < want.size(); ++i)

@@ -7,6 +7,9 @@
  */
 
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 
 #include <gtest/gtest.h>
@@ -299,6 +302,41 @@ TEST(CaisReport, LoadValidatesSchema)
     EXPECT_FALSE(report::load(
         "{\"schema\": \"cais-metrics-v1\"}", "x", rep, error));
     EXPECT_NE(error.find("result"), std::string::npos);
+}
+
+TEST(CaisReport, LoadFileRejectsMissingMalformedAndDirectoryPaths)
+{
+    namespace fs = std::filesystem;
+    report::Report rep;
+    std::string error;
+
+    EXPECT_FALSE(
+        report::loadFile("/nonexistent/run.json", rep, error));
+    EXPECT_NE(error.find("cannot open"), std::string::npos);
+
+    fs::path dir =
+        fs::temp_directory_path() / "cais_report_loadfile_test";
+    fs::create_directories(dir);
+
+    // A directory opens fine with fopen() but cannot be read; the
+    // error must say so rather than report a JSON parse failure.
+    error.clear();
+    EXPECT_FALSE(report::loadFile(dir.string(), rep, error));
+    EXPECT_NE(error.find("cannot read"), std::string::npos);
+
+    fs::path bad = dir / "bad.json";
+    std::ofstream(bad) << "{\"schema\": \"cais-metrics-v1\", ";
+    error.clear();
+    EXPECT_FALSE(report::loadFile(bad.string(), rep, error));
+    EXPECT_FALSE(error.empty());
+
+    fs::path good = dir / "good.json";
+    std::ofstream(good) << makeReport(1, 10);
+    error.clear();
+    EXPECT_TRUE(report::loadFile(good.string(), rep, error)) << error;
+    EXPECT_EQ(rep.path, good.string());
+
+    fs::remove_all(dir);
 }
 
 TEST(CaisReport, SummaryListsResultScalars)

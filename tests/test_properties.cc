@@ -66,6 +66,11 @@ TEST_P(ChunkSweep, PayloadVolumeIsGranularityInvariant)
     cfg.chunkBytes = GetParam();
     cfg.gpu.jitterSigma = 0.0;
     cfg.gpu.maxStartSkew = 0;
+    // Chunks coarser than the session base alignment straddle
+    // interleave blocks by design here -- the sweep's whole point is
+    // that the fabric still conserves payload when a chunk splits
+    // across switches. cais-verify's V3 flags exactly that hazard.
+    cfg.verifySuppress = {"V3"};
     LlmConfig m = megaGpt4B().scaled(0.25, 0.25);
     m.batch = 2;
     OpGraph g = buildSubLayer(m, SubLayerId::L1);

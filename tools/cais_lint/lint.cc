@@ -359,6 +359,7 @@ struct Ctx
 {
     const Options &opts;
     const std::set<std::string> &unorderedVars;
+    const std::set<std::string> &unorderedFns;
     std::vector<Finding> &findings;
 };
 
@@ -433,6 +434,48 @@ collectUnorderedVars(const LexedFile &f, const std::set<std::string> &aliases,
             (is(ts[k + 1], ";") || is(ts[k + 1], "=") ||
              is(ts[k + 1], "{")))
             vars.insert(ts[k].text);
+    }
+}
+
+/**
+ * Collect names of functions declared to *return* an unordered
+ * container (or an alias of one): the declarator D1's variable pass
+ * deliberately skips (a name followed by '(' is a function, not a
+ * variable). Qualified definitions (`unordered_map<...> Foo::bar(`)
+ * register under the unqualified name, matching call sites.
+ */
+void
+collectUnorderedFns(const LexedFile &f,
+                    const std::set<std::string> &aliases,
+                    std::set<std::string> &fns)
+{
+    const auto &ts = f.toks;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        if (ts[i].kind != Tok::ident)
+            continue;
+        bool unordered = isUnorderedContainer(ts[i].text) ||
+                         aliases.count(ts[i].text) > 0;
+        if (!unordered)
+            continue;
+        std::size_t k = i + 1;
+        k = skipTemplateArgs(ts, k);
+        while (k < ts.size() && (is(ts[k], "&") || is(ts[k], "*") ||
+                                 is(ts[k], "const")))
+            ++k;
+        // Declarator: idents separated by "::"; a '(' right after the
+        // last ident makes it a function declaration/definition.
+        std::string name;
+        while (k < ts.size() && ts[k].kind == Tok::ident) {
+            name = ts[k].text;
+            if (k + 1 < ts.size() && is(ts[k + 1], "::"))
+                k += 2;
+            else {
+                ++k;
+                break;
+            }
+        }
+        if (!name.empty() && k < ts.size() && is(ts[k], "("))
+            fns.insert(name);
     }
 }
 
@@ -802,6 +845,81 @@ ruleD5(Ctx &cx, const LexedFile &f)
     }
 }
 
+/** D7: loops over unordered containers *returned by functions* in
+ *  src/ (the declarator shape D1's variable pass cannot see). */
+void
+ruleD7(Ctx &cx, const LexedFile &f)
+{
+    if (!startsWith(f.path, "src/"))
+        return;
+    const auto &ts = f.toks;
+
+    auto isFnCall = [&](std::size_t k) {
+        return ts[k].kind == Tok::ident &&
+               cx.unorderedFns.count(ts[k].text) > 0 &&
+               k + 1 < ts.size() && is(ts[k + 1], "(");
+    };
+
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        // Range-for: for ( ... : <call returning unordered> ).
+        if (ts[i].kind == Tok::ident && is(ts[i], "for") &&
+            i + 1 < ts.size() && is(ts[i + 1], "(")) {
+            int depth = 0;
+            std::size_t colon = 0, close = 0;
+            for (std::size_t k = i + 1; k < ts.size(); ++k) {
+                if (is(ts[k], "("))
+                    ++depth;
+                else if (is(ts[k], ")")) {
+                    if (--depth == 0) {
+                        close = k;
+                        break;
+                    }
+                } else if (is(ts[k], ":") && depth == 1 && colon == 0) {
+                    colon = k;
+                }
+            }
+            if (colon && close) {
+                for (std::size_t k = colon + 1; k < close; ++k) {
+                    if (isFnCall(k)) {
+                        report(cx, f.path, ts[k].line, "D7",
+                               "range-for over unordered container "
+                               "returned by '" +
+                                   ts[k].text + "('");
+                        break;
+                    }
+                }
+            }
+        }
+        // Iterator access on the call result: fn(...).begin().
+        if (isFnCall(i)) {
+            int depth = 0;
+            std::size_t k = i + 1;
+            for (; k < ts.size(); ++k) {
+                if (is(ts[k], "("))
+                    ++depth;
+                else if (is(ts[k], ")")) {
+                    if (--depth == 0) {
+                        ++k;
+                        break;
+                    }
+                } else if (is(ts[k], ";")) {
+                    break;
+                }
+            }
+            if (k + 2 < ts.size() &&
+                (is(ts[k], ".") || is(ts[k], "->")) &&
+                (is(ts[k + 1], "begin") || is(ts[k + 1], "cbegin") ||
+                 is(ts[k + 1], "rbegin")) &&
+                is(ts[k + 2], "(")) {
+                report(cx, f.path, ts[i].line, "D7",
+                       "iteration over unordered container returned "
+                       "by '" +
+                           ts[i].text + "('");
+            }
+        }
+    }
+}
+
 /** D6: std::function passed to EventQueue::schedule*. */
 void
 ruleD6(Ctx &cx, const LexedFile &f)
@@ -912,6 +1030,11 @@ ruleTable()
         {"D6", "std::function used as an EventQueue callback",
          "pass the lambda directly; EventQueue::Callback is "
          "InlineEvent (no heap, no type erasure overhead)"},
+        {"D7",
+         "iteration over an unordered container returned by a "
+         "function in src/ (model code feeding simulation state)",
+         "return a std::map / sorted vector, or sort the result "
+         "before iterating"},
         {"X1", "malformed cais-lint suppression comment",
          "use: // cais-lint: allow(<rule>) -- <justification>"},
     };
@@ -937,23 +1060,26 @@ Linter::run(const Options &opts)
     for (const Source &s : sources)
         lexed.push_back(lex(s.path, s.content));
 
-    // Cross-file name pools for D1.
-    std::set<std::string> aliases, unorderedVars;
+    // Cross-file name pools for D1/D7.
+    std::set<std::string> aliases, unorderedVars, unorderedFns;
     for (const LexedFile &f : lexed)
         collectAliases(f, aliases);
-    for (const LexedFile &f : lexed)
+    for (const LexedFile &f : lexed) {
         collectUnorderedVars(f, aliases, unorderedVars);
+        collectUnorderedFns(f, aliases, unorderedFns);
+    }
 
     std::vector<Finding> findings;
     for (const LexedFile &f : lexed) {
         std::vector<Finding> local;
-        Ctx fcx{opts, unorderedVars, local};
+        Ctx fcx{opts, unorderedVars, unorderedFns, local};
         ruleD1(fcx, f);
         ruleD2(fcx, f);
         ruleD3(fcx, f);
         ruleD4(fcx, f);
         ruleD5(fcx, f);
         ruleD6(fcx, f);
+        ruleD7(fcx, f);
         applySuppressions(f, local);
         findings.insert(findings.end(),
                         std::make_move_iterator(local.begin()),

@@ -18,7 +18,9 @@
  *  - D5  <cmath> / ceil / floor reintroduced into src/noc/ or
  *        src/gpu/ hot paths (use common/intmath.hh);
  *  - D6  std::function passed where an EventQueue callback
- *        (InlineEvent) is required.
+ *        (InlineEvent) is required;
+ *  - D7  iteration over an unordered container *returned by a
+ *        function* in src/ (the shape D1's variable pass misses).
  *
  * Any finding is suppressible at its site with
  *
@@ -43,7 +45,7 @@ struct Finding
 {
     std::string file; ///< path relative to the repo root, '/'-separated
     int line = 0;
-    std::string rule;    ///< "D1".."D6" or "X1"
+    std::string rule;    ///< "D1".."D7" or "X1"
     std::string message; ///< what was found
     std::string hint;    ///< one-line fix hint
 };

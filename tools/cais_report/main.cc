@@ -33,11 +33,12 @@ main(int argc, char **argv)
     std::vector<std::string> paths;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg == "--diff")
+        if (arg == "--diff") {
             want_diff = true;
-        else if (arg == "-h" || arg == "--help")
-            return usage();
-        else
+        } else if (arg == "-h" || arg == "--help") {
+            usage();
+            return 0;
+        } else
             paths.push_back(arg);
     }
     if (paths.size() != (want_diff ? 2u : 1u))

@@ -86,7 +86,15 @@ loadFile(const std::string &path, Report &out, std::string &error)
     std::size_t n;
     while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
         text.append(buf, n);
+    // fopen() happily opens directories; fread() then fails with
+    // EISDIR and an empty buffer, which would otherwise surface as a
+    // confusing "offset 0: unexpected end of input" parse error.
+    bool read_error = std::ferror(f) != 0;
     std::fclose(f);
+    if (read_error) {
+        error = "cannot read " + path;
+        return false;
+    }
     return load(text, path, out, error);
 }
 
