@@ -38,6 +38,13 @@ struct BenchArgs
     int gpus = 8;
     int switches = 4;
 
+    /** Fabric preset (topology=nvl72 etc.); empty keeps the flat
+     *  gpus x switches shape. */
+    std::string topology;
+
+    /** Upper bound for GPU-count sweeps (max_gpus=; 0 = no cap). */
+    int maxGpus = 0;
+
     static BenchArgs
     parse(int argc, char **argv, double dim_def = 0.5,
           double tok_def = 0.25)
@@ -51,8 +58,16 @@ struct BenchArgs
                 a.params.set("verify", "0");
         a.dimFactor = a.params.getDouble("dim", dim_def);
         a.tokFactor = a.params.getDouble("tok", tok_def);
-        a.gpus = static_cast<int>(a.params.getInt("gpus", 8));
+        a.topology = a.params.getString("topology", "");
+        // With a preset, default the GPU count to the preset's own
+        // (nvl72 -> 72) instead of the flat default of 8.
+        int gpus_def = 8;
+        if (const FabricParams *p =
+                FabricParams::findPreset(a.topology))
+            gpus_def = p->numGpus;
+        a.gpus = static_cast<int>(a.params.getInt("gpus", gpus_def));
         a.switches = static_cast<int>(a.params.getInt("switches", 4));
+        a.maxGpus = static_cast<int>(a.params.getInt("max_gpus", 0));
         return a;
     }
 
@@ -62,6 +77,7 @@ struct BenchArgs
         RunConfig cfg;
         cfg.numGpus = gpus;
         cfg.numSwitches = switches;
+        cfg.topology = topology;
         cfg.chunkBytes = static_cast<std::uint32_t>(
             params.getInt("chunk", cfg.chunkBytes));
         cfg.gpu.numSms = static_cast<int>(
@@ -97,11 +113,18 @@ inline void
 banner(const char *what, const BenchArgs &a)
 {
     std::printf("== %s ==\n", what);
-    std::printf("config: %d GPUs x %d switches, dim=%.3g tok=%.3g, "
-                "%d sim jobs (CAIS_JOBS)\n"
-                "(pass dim=1 tok=1 for Table-I sizes)\n\n",
-                a.gpus, a.switches, a.dimFactor, a.tokFactor,
-                SweepRunner::defaultThreads());
+    if (!a.topology.empty())
+        std::printf("config: %s preset, %d GPUs, dim=%.3g tok=%.3g, "
+                    "%d sim jobs (CAIS_JOBS)\n"
+                    "(pass dim=1 tok=1 for Table-I sizes)\n\n",
+                    a.topology.c_str(), a.gpus, a.dimFactor,
+                    a.tokFactor, SweepRunner::defaultThreads());
+    else
+        std::printf("config: %d GPUs x %d switches, dim=%.3g "
+                    "tok=%.3g, %d sim jobs (CAIS_JOBS)\n"
+                    "(pass dim=1 tok=1 for Table-I sizes)\n\n",
+                    a.gpus, a.switches, a.dimFactor, a.tokFactor,
+                    SweepRunner::defaultThreads());
 }
 
 /**

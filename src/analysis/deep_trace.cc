@@ -86,9 +86,11 @@ DeepTraceProbe::sample(Cycle at)
         int num_vcs = chip.params().numVcs;
         for (int vc = 0; vc < num_vcs; ++vc) {
             std::size_t depth = 0;
-            for (GpuId g = 0; g < sys.numGpus(); ++g)
+            // Tiered chips have per-chip port counts (local GPUs plus
+            // tier links), not one port per fabric GPU.
+            for (int port = 0; port < chip.numPorts(); ++port)
                 depth += chip.downlinkQueue(
-                    g, static_cast<VcClass>(vc));
+                    port, static_cast<VcClass>(vc));
             tc.addCounter(strfmt("vc%d downlink depth", vc), pid, at,
                           static_cast<double>(depth));
         }

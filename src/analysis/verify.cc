@@ -6,6 +6,7 @@
 
 #include "common/json.hh"
 #include "common/log.hh"
+#include "common/nodemask.hh"
 #include "noc/network.hh"
 
 namespace cais
@@ -120,6 +121,24 @@ gpuCouplings()
     return c;
 }
 
+/** Leaf-to-spine couplings: everything a leaf emits upstream keeps
+ *  its class — plain unicast transit, the merge proxy fetch
+ *  (caisLoadReq), partial reductions (caisRedReq), the NVLS upstream
+ *  legs and sync registrations are all class-identity. */
+const std::vector<Coupling> &
+leafUpCouplings()
+{
+    static const std::vector<Coupling> c = {
+        {VcClass::request, VcClass::request},
+        {VcClass::response, VcClass::response},
+        {VcClass::reduction, VcClass::reduction},
+        {VcClass::multicast, VcClass::multicast},
+        {VcClass::sync, VcClass::sync},
+        {VcClass::control, VcClass::control},
+    };
+    return c;
+}
+
 /** Channel index space: (direction, gpu, switch, vc). */
 struct ChannelGraph
 {
@@ -161,10 +180,215 @@ struct ChannelGraph
     }
 };
 
+/** Sort/dedupe adjacency, then DFS for the first back edge (in
+ *  ascending node order, so reports are deterministic). @p name maps
+ *  a channel node id to its diagnostic label. */
+void
+reportFirstChannelCycle(
+    Ctx &cx, std::vector<std::vector<int>> &adj,
+    const std::function<std::string(int)> &name)
+{
+    for (auto &targets : adj) {
+        std::sort(targets.begin(), targets.end());
+        targets.erase(std::unique(targets.begin(), targets.end()),
+                      targets.end());
+    }
+
+    const int count = static_cast<int>(adj.size());
+    std::vector<std::uint8_t> color(adj.size(), 0);
+    std::vector<int> pathStack;
+    for (int root = 0; root < count; ++root) {
+        if (color[static_cast<std::size_t>(root)] != 0)
+            continue;
+        // Frames of (node, next-child index).
+        std::vector<std::pair<int, std::size_t>> frames;
+        frames.emplace_back(root, 0);
+        color[static_cast<std::size_t>(root)] = 1;
+        pathStack = {root};
+        while (!frames.empty()) {
+            auto &[node, next] = frames.back();
+            const auto &targets =
+                adj[static_cast<std::size_t>(node)];
+            if (next < targets.size()) {
+                int t = targets[next++];
+                if (color[static_cast<std::size_t>(t)] == 1) {
+                    // Back edge: pathStack from t's position onward
+                    // plus the edge back to t is the cycle.
+                    auto it = std::find(pathStack.begin(),
+                                        pathStack.end(), t);
+                    std::vector<std::string> cyc;
+                    for (; it != pathStack.end(); ++it)
+                        cyc.push_back(name(*it));
+                    cyc.push_back(name(t));
+                    cx.report(
+                        "V1",
+                        strfmt("channel-dependency cycle over %zu "
+                               "port/VC channels: a filled buffer on "
+                               "each waits on the next, so the fabric "
+                               "can deadlock",
+                               cyc.size() - 1),
+                        std::move(cyc));
+                    return;
+                }
+                if (color[static_cast<std::size_t>(t)] == 0) {
+                    color[static_cast<std::size_t>(t)] = 1;
+                    frames.emplace_back(t, 0);
+                    pathStack.push_back(t);
+                }
+            } else {
+                color[static_cast<std::size_t>(node)] = 2;
+                frames.pop_back();
+                pathStack.pop_back();
+            }
+        }
+    }
+}
+
+/**
+ * Multi-tier channel-dependency graph. Four channel families --
+ * GPU->leaf (U1) and leaf->GPU (D1) indexed by (gpu, rail), and
+ * leaf->spine (U2) / spine->leaf (D2) indexed by (leaf, spine) --
+ * with turn edges mirroring the tiered protocol: a leaf turns local
+ * traffic down with the flat coupling set and forwards/aggregates
+ * upstream class-identically; the spine turns every upstream arrival
+ * down with the flat coupling set; a leaf fans spine traffic out to
+ * its local GPUs; GPUs couple downlink arrivals to uplink emissions
+ * exactly as on the flat fabric.
+ */
+void
+checkV1Tiered(Ctx &cx)
+{
+    const FabricParams &p = cx.sys.config().fabric;
+    const int G = p.numGpus, V = p.sw.numVcs;
+    const int rails = p.railsPerGroup, L = p.numLeaves();
+    const int P = p.numSpines, gpp = p.gpusPerGroup();
+    const bool unified = p.sw.unifiedDataVc;
+
+    const int d1 = G * rails * V;
+    const int u2 = 2 * G * rails * V;
+    const int d2 = u2 + L * P * V;
+    const int total = d2 + P * L * V;
+    auto U1 = [&](GpuId g, int r, int v) {
+        return (g * rails + r) * V + v;
+    };
+    auto D1 = [&](GpuId g, int r, int v) {
+        return d1 + (g * rails + r) * V + v;
+    };
+    auto U2 = [&](int l, int sp, int v) {
+        return u2 + (l * P + sp) * V + v;
+    };
+    auto D2 = [&](int sp, int l, int v) {
+        return d2 + (sp * L + l) * V + v;
+    };
+    auto vcOf = [&](VcClass c) {
+        return static_cast<int>(policedVc(c, unified));
+    };
+
+    auto name = [=](int node) -> std::string {
+        if (node < u2) {
+            bool down = node >= d1;
+            int idx = down ? node - d1 : node;
+            int v = idx % V;
+            int gr = idx / V;
+            int r = gr % rails;
+            GpuId g = gr / rails;
+            int grp = g / gpp;
+            if (down)
+                return strfmt("leaf%d.sw%d->gpu%d vc%d(%s)", grp, r,
+                              g, v, vcClassName(v));
+            return strfmt("gpu%d->leaf%d.sw%d vc%d(%s)", g, grp, r, v,
+                          vcClassName(v));
+        }
+        bool down = node >= d2;
+        int idx = down ? node - d2 : node - u2;
+        int v = idx % V;
+        int lp = idx / V;
+        int l = down ? lp % L : lp / P;
+        int sp = down ? lp / L : lp % P;
+        if (down)
+            return strfmt("spine.sw%d->leaf%d.sw%d vc%d(%s)", sp,
+                          l / rails, l % rails, v, vcClassName(v));
+        return strfmt("leaf%d.sw%d->spine.sw%d vc%d(%s)", l / rails,
+                      l % rails, sp, v, vcClassName(v));
+    };
+
+    std::vector<std::vector<int>> adj(
+        static_cast<std::size_t>(total));
+    auto addEdge = [&](int a, int b) {
+        adj[static_cast<std::size_t>(a)].push_back(b);
+    };
+
+    auto leafLocalTurn = [&](VcClass from, VcClass to) {
+        int a = vcOf(from), b = vcOf(to);
+        for (int grp = 0; grp < p.numGroups; ++grp)
+            for (int r = 0; r < rails; ++r)
+                for (int gi = 0; gi < gpp; ++gi)
+                    for (int di = 0; di < gpp; ++di)
+                        addEdge(U1(grp * gpp + gi, r, a),
+                                D1(grp * gpp + di, r, b));
+    };
+    auto leafUpTurn = [&](VcClass from, VcClass to) {
+        int a = vcOf(from), b = vcOf(to);
+        for (GpuId g = 0; g < G; ++g)
+            for (int r = 0; r < rails; ++r)
+                for (int sp = 0; sp < P; ++sp)
+                    addEdge(U1(g, r, a),
+                            U2((g / gpp) * rails + r, sp, b));
+    };
+    auto spineTurn = [&](VcClass from, VcClass to) {
+        int a = vcOf(from), b = vcOf(to);
+        for (int sp = 0; sp < P; ++sp)
+            for (int l = 0; l < L; ++l)
+                for (int l2 = 0; l2 < L; ++l2)
+                    addEdge(U2(l, sp, a), D2(sp, l2, b));
+    };
+    auto leafDownTurn = [&](VcClass from, VcClass to) {
+        int a = vcOf(from), b = vcOf(to);
+        for (int sp = 0; sp < P; ++sp)
+            for (int l = 0; l < L; ++l) {
+                int grp = l / rails, r = l % rails;
+                for (int di = 0; di < gpp; ++di)
+                    addEdge(D2(sp, l, a),
+                            D1(grp * gpp + di, r, b));
+            }
+    };
+    auto gpuTurn = [&](VcClass from, VcClass to) {
+        int a = vcOf(from), b = vcOf(to);
+        for (GpuId g = 0; g < G; ++g)
+            for (int r = 0; r < rails; ++r)
+                addEdge(D1(g, r, a), U1(g, r, b));
+    };
+
+    for (const Coupling &c : switchCouplings()) {
+        leafLocalTurn(c.from, c.to);
+        spineTurn(c.from, c.to);
+        leafDownTurn(c.from, c.to);
+    }
+    for (const Coupling &c : leafUpCouplings())
+        leafUpTurn(c.from, c.to);
+    for (const Coupling &c : gpuCouplings())
+        gpuTurn(c.from, c.to);
+    for (const ExtraCoupling &c : cx.opts.extraCouplings) {
+        if (c.atGpu) {
+            gpuTurn(c.from, c.to);
+        } else {
+            leafLocalTurn(c.from, c.to);
+            spineTurn(c.from, c.to);
+            leafDownTurn(c.from, c.to);
+        }
+    }
+
+    reportFirstChannelCycle(cx, adj, name);
+}
+
 void
 checkV1(Ctx &cx)
 {
     const FabricParams &p = cx.sys.config().fabric;
+    if (p.multiTier()) {
+        checkV1Tiered(cx);
+        return;
+    }
     ChannelGraph cg{p.numGpus, p.numSwitches, p.sw.numVcs,
                     p.sw.unifiedDataVc};
 
@@ -200,63 +424,8 @@ checkV1(Ctx &cx)
             switchTurn(c.from, c.to);
     }
 
-    for (auto &targets : adj) {
-        std::sort(targets.begin(), targets.end());
-        targets.erase(std::unique(targets.begin(), targets.end()),
-                      targets.end());
-    }
-
-    // Iterative DFS with gray/black coloring; the first back edge
-    // (in ascending node order, so reports are deterministic) yields
-    // the offending cycle.
-    std::vector<std::uint8_t> color(
-        static_cast<std::size_t>(cg.count()), 0);
-    std::vector<int> stack, pathStack;
-    for (int root = 0; root < cg.count(); ++root) {
-        if (color[static_cast<std::size_t>(root)] != 0)
-            continue;
-        // Frames of (node, next-child index).
-        std::vector<std::pair<int, std::size_t>> frames;
-        frames.emplace_back(root, 0);
-        color[static_cast<std::size_t>(root)] = 1;
-        pathStack = {root};
-        while (!frames.empty()) {
-            auto &[node, next] = frames.back();
-            const auto &targets =
-                adj[static_cast<std::size_t>(node)];
-            if (next < targets.size()) {
-                int t = targets[next++];
-                if (color[static_cast<std::size_t>(t)] == 1) {
-                    // Back edge: pathStack from t's position onward
-                    // plus the edge back to t is the cycle.
-                    auto it = std::find(pathStack.begin(),
-                                        pathStack.end(), t);
-                    std::vector<std::string> cyc;
-                    for (; it != pathStack.end(); ++it)
-                        cyc.push_back(cg.name(*it));
-                    cyc.push_back(cg.name(t));
-                    cx.report(
-                        "V1",
-                        strfmt("channel-dependency cycle over %zu "
-                               "port/VC channels: a filled buffer on "
-                               "each waits on the next, so the fabric "
-                               "can deadlock",
-                               cyc.size() - 1),
-                        std::move(cyc));
-                    return;
-                }
-                if (color[static_cast<std::size_t>(t)] == 0) {
-                    color[static_cast<std::size_t>(t)] = 1;
-                    frames.emplace_back(t, 0);
-                    pathStack.push_back(t);
-                }
-            } else {
-                color[static_cast<std::size_t>(node)] = 2;
-                frames.pop_back();
-                pathStack.pop_back();
-            }
-        }
-    }
+    reportFirstChannelCycle(
+        cx, adj, [&cg](int node) { return cg.name(node); });
 }
 
 // ------------------------------------------------------------------
@@ -285,47 +454,44 @@ checkV2(Ctx &cx)
         return; // per-link scan would repeat the same mismatch
     }
 
-    for (GpuId g = 0; g < p.numGpus; ++g) {
-        for (SwitchId s = 0; s < p.numSwitches; ++s) {
-            const CreditLink *links[2] = {&fab.uplink(g, s),
-                                          &fab.downlink(s, g)};
-            for (const CreditLink *l : links) {
-                if (l->numVcs() != p.sw.numVcs) {
-                    cx.report(
-                        "V2",
-                        strfmt("link %s has %d VCs but the switch "
-                               "arbitrates %d",
-                               l->name().c_str(), l->numVcs(),
-                               p.sw.numVcs),
-                        {l->name()});
-                    continue;
-                }
-                for (int v = 0; v < l->numVcs(); ++v) {
-                    if (l->credits(v) != p.vcCredits) {
-                        cx.report(
-                            "V2",
-                            strfmt("link %s vc%d holds %d credits "
-                                   "before the first event (expected "
-                                   "the full grant of %d)",
-                                   l->name().c_str(), v,
-                                   l->credits(v), p.vcCredits),
-                            {l->name(), strfmt("vc%d", v)});
-                        break;
-                    }
-                    if (l->queueLen(v) != 0) {
-                        cx.report(
-                            "V2",
-                            strfmt("link %s vc%d has %zu packets "
-                                   "queued before the first event",
-                                   l->name().c_str(), v,
-                                   l->queueLen(v)),
-                            {l->name(), strfmt("vc%d", v)});
-                        break;
-                    }
-                }
+    // forEachLink visits GPU-facing links in the historical (gpu,
+    // switch, up-then-down) order, then the inter-switch tier links,
+    // so flat-fabric diagnostics keep their seed ordering and
+    // multi-tier shapes get the same conservation checks on every
+    // leaf<->spine link.
+    fab.forEachLink([&](const CreditLink &l) {
+        if (l.numVcs() != p.sw.numVcs) {
+            cx.report("V2",
+                      strfmt("link %s has %d VCs but the switch "
+                             "arbitrates %d",
+                             l.name().c_str(), l.numVcs(),
+                             p.sw.numVcs),
+                      {l.name()});
+            return;
+        }
+        for (int v = 0; v < l.numVcs(); ++v) {
+            if (l.credits(v) != p.vcCredits) {
+                cx.report(
+                    "V2",
+                    strfmt("link %s vc%d holds %d credits before the "
+                           "first event (expected the full grant of "
+                           "%d)",
+                           l.name().c_str(), v, l.credits(v),
+                           p.vcCredits),
+                    {l.name(), strfmt("vc%d", v)});
+                break;
+            }
+            if (l.queueLen(v) != 0) {
+                cx.report(
+                    "V2",
+                    strfmt("link %s vc%d has %zu packets queued "
+                           "before the first event",
+                           l.name().c_str(), v, l.queueLen(v)),
+                    {l.name(), strfmt("vc%d", v)});
+                break;
             }
         }
-    }
+    });
 }
 
 // ------------------------------------------------------------------
@@ -470,6 +636,31 @@ checkV3(Ctx &cx)
                 std::move(path));
             continue;
         }
+        // Hierarchical merging localizes a session's participant
+        // count per tier (tier.localExpected), which is well-defined
+        // only for the two shapes the protocol produces: all G GPUs,
+        // or all but the session's home. Any other count cannot be
+        // attributed to leaves without knowing which GPUs abstain.
+        if (sc.fabric.multiTier()) {
+            int e = *grp.expected.begin();
+            int G = cx.sys.numGpus();
+            if (e > 0 && e != G && e != G - 1) {
+                cx.report(
+                    "V3",
+                    strfmt("kernel %s: %s session at 0x%llx expects "
+                           "%d participants on a multi-tier fabric "
+                           "(hierarchical merging supports only all "
+                           "%d GPUs or the %d non-home GPUs)",
+                           k.name.c_str(), kindName(rk),
+                           static_cast<unsigned long long>(base), e,
+                           G, G - 1),
+                    {k.name,
+                     strfmt("addr=0x%llx",
+                            static_cast<unsigned long long>(base)),
+                     strfmt("expected=%d", e)});
+                continue;
+            }
+        }
         // Reduction sessions complete only when exactly `expected`
         // contributions arrive; a participant-count mismatch stalls
         // the session (or trips the duplicate-contribution check).
@@ -524,13 +715,18 @@ checkV4(Ctx &cx)
     const SystemConfig &sc = cx.sys.config();
     const int G = cx.sys.numGpus();
 
-    // The sync table tracks participants in a 64-bit mask.
-    if (G > 64) {
-        cx.report("V4",
-                  strfmt("%d GPUs exceed the 64-entry group-sync "
-                         "participant mask",
-                         G),
-                  {strfmt("numGpus=%d", G)});
+    // The sync and merge tables track participants in a fixed-width
+    // node mask; on multi-tier fabrics leaf-switch node ids register
+    // alongside GPU ids, so the whole node-id space must fit.
+    const int nodes = G + sc.fabric.numSwitches;
+    if (nodes > NodeMask::capacity) {
+        cx.report(
+            "V4",
+            strfmt("%d GPUs plus %d switches exceed the %d-entry "
+                   "group-sync participant mask",
+                   G, sc.fabric.numSwitches, NodeMask::capacity),
+            {strfmt("numGpus=%d", G),
+             strfmt("numSwitches=%d", sc.fabric.numSwitches)});
     }
 
     for (std::size_t ki = 0; ki < cx.sys.numKernels(); ++ki) {
@@ -829,7 +1025,8 @@ ruleTable()
     static const std::vector<RuleInfo> table = {
         {"V1",
          "virtual-channel channel-dependency graph must be acyclic "
-         "across switch chips and credit links",
+         "across switch chips and credit links, including the "
+         "leaf/spine tier hops of multi-tier fabrics",
          "break the coupling cycle: give the generated traffic class "
          "its own VC or decouple buffer hold from emission"},
         {"V2",
@@ -839,7 +1036,8 @@ ruleTable()
          "(FabricParams::vcCredits == SwitchParams::vcDepth)"},
         {"V3",
          "every mergeable address class maps to exactly one switch "
-         "and all GPUs agree on session membership",
+         "(one rail per tier on multi-tier fabrics) and all GPUs "
+         "agree on session membership",
          "align session bases to the chunk size, keep the interleave "
          "a multiple of it, and issue one contribution per "
          "participating GPU"},

@@ -18,8 +18,8 @@ GpuHub::GpuHub(EventQueue &eq_, Fabric &fabric_, GpuId gpu_,
 {
     // Watch our uplinks so the injection window tracks actual wire
     // occupancy (each dequeue = one of our packets started the wire).
-    for (SwitchId s = 0; s < fabric.params().numSwitches; ++s) {
-        fabric.uplink(gpu, s).setDequeueCallback(
+    for (int i = 0; i < fabric.uplinksPerGpu(); ++i) {
+        fabric.uplink(gpu, i).setDequeueCallback(
             [this](int) { onWireInjected(); });
     }
 }
@@ -76,7 +76,7 @@ GpuHub::sendSyncReq(GroupId group, SyncPhase phase, int expected)
     pkt.cookie = static_cast<std::uint64_t>(phase);
     pkt.expected = expected;
     pkt.issuerGpu = gpu;
-    pkt.dst = fabric.switchNodeId(fabric.routeGroup(group));
+    pkt.dst = fabric.syncNode(gpu, group);
     wireOrder.push_back(0); // non-job traffic
     fabric.sendFromGpu(gpu, std::move(pkt));
 }
@@ -183,7 +183,7 @@ GpuHub::injectChunk(std::uint64_t job_id, JobState &js,
       case RemoteOpKind::caisLoad:
         pkt = newPacket(PacketType::caisLoadReq, invalidId);
         pkt.reqBytes = c.bytes;
-        pkt.dst = fabric.switchNodeId(fabric.routeAddr(c.addr));
+        pkt.dst = fabric.mergeNode(gpu, c.addr);
         break;
       case RemoteOpKind::plainLoad:
         pkt = newPacket(PacketType::readReq, addrHomeGpu(c.addr));
@@ -192,22 +192,22 @@ GpuHub::injectChunk(std::uint64_t job_id, JobState &js,
       case RemoteOpKind::nvlsLdReduce:
         pkt = newPacket(PacketType::multimemLdReduceReq, invalidId);
         pkt.reqBytes = c.bytes;
-        pkt.dst = fabric.switchNodeId(fabric.routeAddr(c.addr));
+        pkt.dst = fabric.mergeNode(gpu, c.addr);
         break;
       case RemoteOpKind::nvlsSt:
         pkt = newPacket(PacketType::multimemSt, invalidId);
         pkt.payloadBytes = c.bytes;
-        pkt.dst = fabric.switchNodeId(fabric.routeAddr(c.addr));
+        pkt.dst = fabric.mergeNode(gpu, c.addr);
         break;
       case RemoteOpKind::nvlsRed:
         pkt = newPacket(PacketType::multimemRed, invalidId);
         pkt.payloadBytes = c.bytes;
-        pkt.dst = fabric.switchNodeId(fabric.routeAddr(c.addr));
+        pkt.dst = fabric.mergeNode(gpu, c.addr);
         break;
       case RemoteOpKind::caisRed:
         pkt = newPacket(PacketType::caisRedReq, invalidId);
         pkt.payloadBytes = c.bytes;
-        pkt.dst = fabric.switchNodeId(fabric.routeAddr(c.addr));
+        pkt.dst = fabric.mergeNode(gpu, c.addr);
         break;
       case RemoteOpKind::plainWrite:
         pkt = newPacket(PacketType::writeReq, addrHomeGpu(c.addr));

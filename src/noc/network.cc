@@ -7,11 +7,34 @@
 namespace cais
 {
 
-Fabric::Fabric(EventQueue &eq_, const FabricParams &params)
-    : eq(eq_), p(params), route(params.numSwitches, params.interleaveBytes)
+namespace
 {
-    p.validate();
 
+/** Validate before any member construction (DeterministicRouting
+ *  would otherwise panic on impossible shapes with a worse message). */
+const FabricParams &
+validated(const FabricParams &params)
+{
+    params.validate();
+    return params;
+}
+
+} // namespace
+
+Fabric::Fabric(EventQueue &eq_, const FabricParams &params)
+    : eq(eq_), p(validated(params)),
+      route(p.multiTier() ? p.railsPerGroup : p.numSwitches,
+            p.interleaveBytes)
+{
+    if (p.multiTier())
+        buildTiered();
+    else
+        buildFlat();
+}
+
+void
+Fabric::buildFlat()
+{
     double link_bw = p.perLinkBytesPerCycle();
 
     switches.reserve(static_cast<std::size_t>(p.numSwitches));
@@ -49,65 +72,302 @@ Fabric::Fabric(EventQueue &eq_, const FabricParams &params)
 }
 
 void
+Fabric::buildTiered()
+{
+    const int gpp = p.gpusPerGroup();
+    const int leaves = p.numLeaves();
+    const double rail_bw = p.perLinkBytesPerCycle();
+    const double tier_bw = p.effectiveTierLinkBytesPerCycle();
+    const Cycle tier_lat = p.effectiveTierLinkLatency();
+
+    // Leaves own ports [0, gpp) for local GPUs and [gpp, gpp+spines)
+    // for the spines; spines own one port per leaf.
+    switches.reserve(static_cast<std::size_t>(p.numSwitches));
+    for (SwitchId s = 0; s < p.numSwitches; ++s) {
+        int ports = p.isSpineSwitch(s) ? leaves : gpp + p.numSpines;
+        switches.push_back(std::make_unique<SwitchChip>(
+            eq, s, switchNodeId(s), ports, p.sw));
+        switches.back()->setPacketIds(&pktIds);
+    }
+
+    up.resize(static_cast<std::size_t>(p.numGpus));
+    down.resize(static_cast<std::size_t>(leaves));
+    for (int l = 0; l < leaves; ++l)
+        down[static_cast<std::size_t>(l)].resize(
+            static_cast<std::size_t>(gpp));
+
+    for (GpuId g = 0; g < p.numGpus; ++g) {
+        int grp = g / gpp;
+        int local = g % gpp;
+        auto &row = up[static_cast<std::size_t>(g)];
+        row.resize(static_cast<std::size_t>(p.railsPerGroup));
+        for (int r = 0; r < p.railsPerGroup; ++r) {
+            int l = p.leafIndex(grp, r);
+            row[static_cast<std::size_t>(r)] = std::make_unique<CreditLink>(
+                eq, strfmt("up.g%d.l%d", g, l), rail_bw, p.linkLatency,
+                p.sw.numVcs, p.vcCredits, p.utilBinWidth);
+            switches[static_cast<std::size_t>(l)]->attachUplink(
+                local, row[static_cast<std::size_t>(r)].get());
+
+            auto dl = std::make_unique<CreditLink>(
+                eq, strfmt("dn.l%d.g%d", l, g), rail_bw, p.linkLatency,
+                p.sw.numVcs, p.vcCredits, p.utilBinWidth);
+            switches[static_cast<std::size_t>(l)]->attachDownlink(
+                local, dl.get());
+            down[static_cast<std::size_t>(l)][static_cast<std::size_t>(
+                local)] = std::move(dl);
+        }
+    }
+
+    tierUp.resize(static_cast<std::size_t>(leaves));
+    tierDown.resize(static_cast<std::size_t>(p.numSpines));
+    for (int k = 0; k < p.numSpines; ++k)
+        tierDown[static_cast<std::size_t>(k)].resize(
+            static_cast<std::size_t>(leaves));
+
+    for (int l = 0; l < leaves; ++l) {
+        auto &row = tierUp[static_cast<std::size_t>(l)];
+        row.resize(static_cast<std::size_t>(p.numSpines));
+        for (int k = 0; k < p.numSpines; ++k) {
+            int spine = leaves + k;
+            row[static_cast<std::size_t>(k)] = std::make_unique<CreditLink>(
+                eq, strfmt("t_up.l%d.k%d", l, k), tier_bw, tier_lat,
+                p.sw.numVcs, p.vcCredits, p.utilBinWidth);
+            switches[static_cast<std::size_t>(spine)]->attachUplink(
+                l, row[static_cast<std::size_t>(k)].get());
+
+            auto dl = std::make_unique<CreditLink>(
+                eq, strfmt("t_dn.k%d.l%d", k, l), tier_bw, tier_lat,
+                p.sw.numVcs, p.vcCredits, p.utilBinWidth);
+            switches[static_cast<std::size_t>(l)]->attachUplink(
+                gpp + k, dl.get());
+            switches[static_cast<std::size_t>(spine)]->attachDownlink(
+                l, dl.get());
+            // A leaf's spine-facing output port carries its uplink.
+            switches[static_cast<std::size_t>(l)]->attachDownlink(
+                gpp + k, row[static_cast<std::size_t>(k)].get());
+            tierDown[static_cast<std::size_t>(k)]
+                    [static_cast<std::size_t>(l)] = std::move(dl);
+        }
+    }
+
+    for (int l = 0; l < leaves; ++l) {
+        int lg = l / p.railsPerGroup;
+        switches[static_cast<std::size_t>(l)]->setPortRouter(
+            [this, lg, gpp](const Packet &pkt) {
+                if (!isSwitchNode(pkt.dst)) {
+                    if (pkt.dst / gpp == lg)
+                        return pkt.dst % gpp;
+                    return gpp + spinePort(pkt);
+                }
+                int s = pkt.dst - p.numGpus;
+                if (p.isSpineSwitch(s))
+                    return gpp + (s - p.numLeaves());
+                // Foreign leaf: reachable only through a spine.
+                return gpp + spinePort(pkt);
+            });
+    }
+    for (int k = 0; k < p.numSpines; ++k) {
+        switches[static_cast<std::size_t>(leaves + k)]->setPortRouter(
+            [this, gpp](const Packet &pkt) {
+                if (!isSwitchNode(pkt.dst))
+                    return p.leafIndex(pkt.dst / gpp, railFor(pkt));
+                int s = pkt.dst - p.numGpus;
+                return p.isSpineSwitch(s) ? -1 : s;
+            });
+    }
+}
+
+int
+Fabric::spinePort(const Packet &pkt) const
+{
+    return pkt.type == PacketType::groupSyncReq
+               ? route.spineForGroup(pkt.group, p.numSpines)
+               : route.spineForAddr(pkt.addr, p.numSpines);
+}
+
+int
+Fabric::railFor(const Packet &pkt) const
+{
+    return pkt.type == PacketType::groupSyncReq
+               ? route.switchForGroup(pkt.group)
+               : route.switchForAddr(pkt.addr);
+}
+
+void
 Fabric::attachGpu(GpuId g, PacketSink *sink)
 {
-    for (SwitchId s = 0; s < p.numSwitches; ++s)
-        down[static_cast<std::size_t>(s)][static_cast<std::size_t>(g)]
-            ->setSink(sink);
+    if (!p.multiTier()) {
+        for (SwitchId s = 0; s < p.numSwitches; ++s)
+            down[static_cast<std::size_t>(s)][static_cast<std::size_t>(g)]
+                ->setSink(sink);
+        return;
+    }
+    int gpp = p.gpusPerGroup();
+    for (int r = 0; r < p.railsPerGroup; ++r)
+        down[static_cast<std::size_t>(p.leafIndex(g / gpp, r))]
+            [static_cast<std::size_t>(g % gpp)]
+                ->setSink(sink);
 }
 
 void
 Fabric::sendFromGpu(GpuId g, Packet &&pkt)
 {
     pkt.vc = policedVc(pkt.vc, p.sw.unifiedDataVc);
-    SwitchId s;
-    if (isSwitchNode(pkt.dst)) {
-        s = pkt.dst - p.numGpus;
-    } else if (pkt.type == PacketType::groupSyncReq) {
-        s = route.switchForGroup(pkt.group);
-    } else {
-        s = route.switchForAddr(pkt.addr);
+    if (!p.multiTier()) {
+        SwitchId s;
+        if (isSwitchNode(pkt.dst)) {
+            s = pkt.dst - p.numGpus;
+        } else if (pkt.type == PacketType::groupSyncReq) {
+            s = route.switchForGroup(pkt.group);
+        } else {
+            s = route.switchForAddr(pkt.addr);
+        }
+        up[static_cast<std::size_t>(g)][static_cast<std::size_t>(s)]->send(
+            std::move(pkt));
+        return;
     }
-    up[static_cast<std::size_t>(g)][static_cast<std::size_t>(s)]->send(
+    int grp = g / p.gpusPerGroup();
+    int rail;
+    if (isSwitchNode(pkt.dst)) {
+        int s = pkt.dst - p.numGpus;
+        if (!p.isSpineSwitch(s) && s / p.railsPerGroup == grp)
+            rail = s % p.railsPerGroup; // own-group leaf: direct rail
+        else
+            rail = railFor(pkt); // spine/foreign leaf: hashed rail up
+    } else {
+        rail = railFor(pkt);
+    }
+    up[static_cast<std::size_t>(g)][static_cast<std::size_t>(rail)]->send(
         std::move(pkt));
 }
 
-CreditLink &
-Fabric::uplink(GpuId g, SwitchId s)
+int
+Fabric::mergeNode(GpuId g, Addr addr) const
 {
-    return *up[static_cast<std::size_t>(g)][static_cast<std::size_t>(s)];
+    SwitchId s = route.switchForAddr(addr);
+    if (p.multiTier())
+        s = p.leafIndex(g / p.gpusPerGroup(), s);
+    return switchNodeId(s);
+}
+
+int
+Fabric::syncNode(GpuId g, GroupId group) const
+{
+    SwitchId s = route.switchForGroup(group);
+    if (p.multiTier())
+        s = p.leafIndex(g / p.gpusPerGroup(), s);
+    return switchNodeId(s);
+}
+
+int
+Fabric::spineNodeForAddr(Addr addr) const
+{
+    if (!p.multiTier())
+        panic("spineNodeForAddr on a flat fabric");
+    return switchNodeId(p.numLeaves() +
+                        route.spineForAddr(addr, p.numSpines));
+}
+
+int
+Fabric::spineNodeForGroup(GroupId group) const
+{
+    if (!p.multiTier())
+        panic("spineNodeForGroup on a flat fabric");
+    return switchNodeId(p.numLeaves() +
+                        route.spineForGroup(group, p.numSpines));
+}
+
+CreditLink &
+Fabric::uplink(GpuId g, int i)
+{
+    return *up[static_cast<std::size_t>(g)][static_cast<std::size_t>(i)];
 }
 
 CreditLink &
 Fabric::downlink(SwitchId s, GpuId g)
 {
-    return *down[static_cast<std::size_t>(s)][static_cast<std::size_t>(g)];
+    if (!p.multiTier())
+        return *down[static_cast<std::size_t>(s)]
+                    [static_cast<std::size_t>(g)];
+    int gpp = p.gpusPerGroup();
+    if (p.isSpineSwitch(s) || s / p.railsPerGroup != g / gpp)
+        panic("downlink(%d, %d): switch is not a leaf of the GPU's "
+              "group", s, g);
+    return *down[static_cast<std::size_t>(s)]
+                [static_cast<std::size_t>(g % gpp)];
 }
 
 const CreditLink &
-Fabric::uplink(GpuId g, SwitchId s) const
+Fabric::uplink(GpuId g, int i) const
 {
-    return *up[static_cast<std::size_t>(g)][static_cast<std::size_t>(s)];
+    return *up[static_cast<std::size_t>(g)][static_cast<std::size_t>(i)];
 }
 
 const CreditLink &
 Fabric::downlink(SwitchId s, GpuId g) const
 {
-    return *down[static_cast<std::size_t>(s)][static_cast<std::size_t>(g)];
+    return const_cast<Fabric *>(this)->downlink(s, g);
+}
+
+CreditLink &
+Fabric::tierUplink(int leaf, int spine)
+{
+    return *tierUp[static_cast<std::size_t>(leaf)]
+                  [static_cast<std::size_t>(spine)];
+}
+
+CreditLink &
+Fabric::tierDownlink(int spine, int leaf)
+{
+    return *tierDown[static_cast<std::size_t>(spine)]
+                    [static_cast<std::size_t>(leaf)];
+}
+
+void
+Fabric::forEachLink(
+    const std::function<void(const CreditLink &)> &fn) const
+{
+    for (const auto &row : up)
+        for (const auto &l : row)
+            fn(*l);
+    if (!p.multiTier()) {
+        for (const auto &row : down)
+            for (const auto &l : row)
+                fn(*l);
+        return;
+    }
+    for (const auto &row : down)
+        for (const auto &l : row)
+            fn(*l);
+    for (const auto &row : tierUp)
+        for (const auto &l : row)
+            fn(*l);
+    for (const auto &row : tierDown)
+        for (const auto &l : row)
+            fn(*l);
 }
 
 std::vector<const CreditLink *>
 Fabric::allLinks(int dir) const
 {
     std::vector<const CreditLink *> ls;
-    if (dir == 0 || dir == 2)
+    if (dir == 0 || dir == 2) {
         for (const auto &row : up)
             for (const auto &l : row)
                 ls.push_back(l.get());
-    if (dir == 1 || dir == 2)
+        for (const auto &row : tierUp)
+            for (const auto &l : row)
+                ls.push_back(l.get());
+    }
+    if (dir == 1 || dir == 2) {
         for (const auto &row : down)
             for (const auto &l : row)
                 ls.push_back(l.get());
+        for (const auto &row : tierDown)
+            for (const auto &l : row)
+                ls.push_back(l.get());
+    }
     return ls;
 }
 
@@ -180,16 +440,48 @@ void
 Fabric::registerMetrics(MetricRegistry &reg,
                         const std::string &prefix) const
 {
+    if (!p.multiTier()) {
+        for (int g = 0; g < p.numGpus; ++g) {
+            for (int s = 0; s < p.numSwitches; ++s) {
+                up[static_cast<std::size_t>(g)][static_cast<std::size_t>(s)]
+                    ->registerMetrics(reg, prefix + ".up.g" +
+                                               std::to_string(g) + ".s" +
+                                               std::to_string(s));
+                down[static_cast<std::size_t>(s)][static_cast<std::size_t>(g)]
+                    ->registerMetrics(reg, prefix + ".dn.s" +
+                                               std::to_string(s) + ".g" +
+                                               std::to_string(g));
+            }
+        }
+        return;
+    }
+    int gpp = p.gpusPerGroup();
     for (int g = 0; g < p.numGpus; ++g) {
-        for (int s = 0; s < p.numSwitches; ++s) {
-            up[static_cast<std::size_t>(g)][static_cast<std::size_t>(s)]
+        for (int r = 0; r < p.railsPerGroup; ++r) {
+            int l = p.leafIndex(g / gpp, r);
+            up[static_cast<std::size_t>(g)][static_cast<std::size_t>(r)]
                 ->registerMetrics(reg, prefix + ".up.g" +
-                                           std::to_string(g) + ".s" +
-                                           std::to_string(s));
-            down[static_cast<std::size_t>(s)][static_cast<std::size_t>(g)]
-                ->registerMetrics(reg, prefix + ".dn.s" +
-                                           std::to_string(s) + ".g" +
-                                           std::to_string(g));
+                                           std::to_string(g) + ".l" +
+                                           std::to_string(l));
+            down[static_cast<std::size_t>(l)]
+                [static_cast<std::size_t>(g % gpp)]
+                    ->registerMetrics(reg, prefix + ".dn.l" +
+                                               std::to_string(l) + ".g" +
+                                               std::to_string(g));
+        }
+    }
+    for (int l = 0; l < p.numLeaves(); ++l) {
+        for (int k = 0; k < p.numSpines; ++k) {
+            tierUp[static_cast<std::size_t>(l)][static_cast<std::size_t>(k)]
+                ->registerMetrics(reg, prefix + ".t_up.l" +
+                                           std::to_string(l) + ".k" +
+                                           std::to_string(k));
+            tierDown[static_cast<std::size_t>(k)]
+                    [static_cast<std::size_t>(l)]
+                        ->registerMetrics(reg, prefix + ".t_dn.k" +
+                                                   std::to_string(k) +
+                                                   ".l" +
+                                                   std::to_string(l));
         }
     }
 }

@@ -2,11 +2,17 @@
  * @file
  * The assembled NVLink/NVSwitch fabric: switches, links, deterministic
  * routing, GPU attachment points, and fleet-wide utilization probes.
+ *
+ * Flat shapes wire every GPU to every switch. Multi-tier shapes wire
+ * each GPU to its group's rail (leaf) switches and every leaf to every
+ * spine switch; per-chip port routers steer packets whose destination
+ * is not directly attached onto the right tier link.
  */
 
 #ifndef CAIS_NOC_NETWORK_HH
 #define CAIS_NOC_NETWORK_HH
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -37,6 +43,8 @@ class Fabric
      */
     void sendFromGpu(GpuId g, Packet &&pkt);
 
+    /** Rail/switch index owning @p a: a switch id on flat shapes, a
+     *  rail index within each group on multi-tier ones. */
     SwitchId routeAddr(Addr a) const { return route.switchForAddr(a); }
     SwitchId routeGroup(GroupId g) const { return route.switchForGroup(g); }
 
@@ -46,13 +54,47 @@ class Fabric
         return node >= p.numGpus && node < p.numGpus + p.numSwitches;
     }
 
+    /** Node id of the switch that merges @p addr for GPU @p g: the
+     *  hashed switch on flat shapes, the GPU's group leaf on the
+     *  hashed rail on multi-tier ones. */
+    int mergeNode(GpuId g, Addr addr) const;
+
+    /** Node id of the switch that coordinates @p group for @p g. */
+    int syncNode(GpuId g, GroupId group) const;
+
+    /** Node id of the spine owning @p addr (multi-tier only). */
+    int spineNodeForAddr(Addr addr) const;
+
+    /** Node id of the spine coordinating @p group (multi-tier only). */
+    int spineNodeForGroup(GroupId group) const;
+
     SwitchChip &switchChip(SwitchId s) { return *switches[s]; }
     const SwitchChip &switchChip(SwitchId s) const { return *switches[s]; }
 
-    CreditLink &uplink(GpuId g, SwitchId s);
+    /** Uplinks per GPU (rails on multi-tier shapes). */
+    int uplinksPerGpu() const { return p.uplinksPerGpu(); }
+
+    /** GPU @p g's @p i-th uplink: to switch i (flat) or rail i. */
+    CreditLink &uplink(GpuId g, int i);
+    const CreditLink &uplink(GpuId g, int i) const;
+
+    /** Downlink from switch @p s to GPU @p g; on multi-tier shapes
+     *  @p s must be a leaf of @p g's group. */
     CreditLink &downlink(SwitchId s, GpuId g);
-    const CreditLink &uplink(GpuId g, SwitchId s) const;
     const CreditLink &downlink(SwitchId s, GpuId g) const;
+
+    /** Leaf->spine / spine->leaf tier links (multi-tier only). */
+    CreditLink &tierUplink(int leaf, int spine);
+    CreditLink &tierDownlink(int spine, int leaf);
+
+    /**
+     * Visit every link with a stable name, GPU-facing links first in
+     * (gpu, uplink-index, up-then-down) order, then tier links. The
+     * flat visit order matches the historical per-link diagnostics
+     * order of cais-verify V2.
+     */
+    void forEachLink(
+        const std::function<void(const CreditLink &)> &fn) const;
 
     const FabricParams &params() const { return p; }
     const DeterministicRouting &routing() const { return route; }
@@ -85,13 +127,20 @@ class Fabric
 
     /**
      * Register every link's scalar counters under
-     * prefix.up.g<G>.s<S>.* and prefix.dn.s<S>.g<G>.* (the switch
-     * chips register separately under the per-switch subtree).
+     * prefix.up.g<G>.s<S>.* and prefix.dn.s<S>.g<G>.* (multi-tier
+     * shapes add prefix.t_up.l<L>.k<K>.* / prefix.t_dn.k<K>.l<L>.*;
+     * the switch chips register separately under the per-switch
+     * subtree).
      */
     void registerMetrics(MetricRegistry &reg,
                          const std::string &prefix) const;
 
   private:
+    void buildFlat();
+    void buildTiered();
+    int spinePort(const Packet &pkt) const;
+    int railFor(const Packet &pkt) const;
+
     double linkSetUtilization(const std::vector<const CreditLink *> &ls,
                               Cycle t0, Cycle t1) const;
     std::vector<const CreditLink *> allLinks(int dir) const; // 0 up,1 dn,2 both
@@ -102,9 +151,14 @@ class Fabric
     PacketIdAllocator pktIds;
 
     std::vector<std::unique_ptr<SwitchChip>> switches;
-    // up[g][s]: GPU g -> switch s; down[s][g]: switch s -> GPU g.
+    // Flat: up[g][s]: GPU g -> switch s; down[s][g]: switch s -> GPU g.
+    // Tiered: up[g][r]: GPU g -> rail r of its group; down[l][i]:
+    // leaf l -> its i-th local GPU; tierUp[l][k]: leaf l -> spine k;
+    // tierDown[k][l]: spine k -> leaf l.
     std::vector<std::vector<std::unique_ptr<CreditLink>>> up;
     std::vector<std::vector<std::unique_ptr<CreditLink>>> down;
+    std::vector<std::vector<std::unique_ptr<CreditLink>>> tierUp;
+    std::vector<std::vector<std::unique_ptr<CreditLink>>> tierDown;
 };
 
 } // namespace cais

@@ -5,6 +5,15 @@
 namespace cais
 {
 
+namespace
+{
+
+/** Salt decorrelating the spine hash from the rail hash, so the
+ *  spine choice is not a function of the rail choice. */
+constexpr std::uint64_t spineSalt = 0x5ca1ab1eull;
+
+} // namespace
+
 DeterministicRouting::DeterministicRouting(int num_switches,
                                            std::uint64_t interleave_bytes)
     : switches(num_switches), interleave(interleave_bytes)
@@ -37,6 +46,27 @@ DeterministicRouting::switchForGroup(GroupId g) const
     return static_cast<SwitchId>(
         mix64(static_cast<std::uint64_t>(g) ^ 0xc0ffee) %
         static_cast<std::uint64_t>(switches));
+}
+
+SwitchId
+DeterministicRouting::spineForAddr(Addr addr, int num_spines) const
+{
+    if (num_spines <= 0)
+        panic("need at least one spine");
+    return static_cast<SwitchId>(
+        mix64(mix64(addr / interleave) ^ spineSalt) %
+        static_cast<std::uint64_t>(num_spines));
+}
+
+SwitchId
+DeterministicRouting::spineForGroup(GroupId g, int num_spines) const
+{
+    if (num_spines <= 0)
+        panic("need at least one spine");
+    return static_cast<SwitchId>(
+        mix64(mix64(static_cast<std::uint64_t>(g) ^ 0xc0ffee) ^
+              spineSalt) %
+        static_cast<std::uint64_t>(num_spines));
 }
 
 } // namespace cais

@@ -81,11 +81,13 @@ SwitchChip::processHead(int port, int vc)
         return;
     }
 
-    // Plain unicast forward toward a GPU.
-    GpuId dst = head.dst;
-    if (dst < 0 || dst >= numGpus())
+    // Plain unicast forward. Without a router the output port is the
+    // destination GPU id (flat shape); a router maps remote or
+    // switch-node destinations onto tier links.
+    int dst = router ? router(head) : head.dst;
+    if (dst < 0 || dst >= numPorts())
         panic("switch %d: cannot route packet type %s to node %d",
-              switchId, packetTypeName(head.type), dst);
+              switchId, packetTypeName(head.type), head.dst);
 
     auto &out = outPorts[static_cast<std::size_t>(dst)];
     if (!out->canAccept(head.vc)) {
@@ -122,9 +124,9 @@ SwitchChip::onDownlinkSpace(GpuId g, int vc)
 void
 SwitchChip::sendToGpu(Packet &&pkt)
 {
-    GpuId dst = pkt.dst;
-    if (dst < 0 || dst >= numGpus())
-        panic("switch %d: sendToGpu to bad node %d", switchId, dst);
+    int dst = router ? router(pkt) : pkt.dst;
+    if (dst < 0 || dst >= numPorts())
+        panic("switch %d: sendToGpu to bad node %d", switchId, pkt.dst);
     pkt.vc = policedVc(pkt.vc, p.unifiedDataVc);
     generated.inc();
     outPorts[static_cast<std::size_t>(dst)]->enqueueForced(std::move(pkt));

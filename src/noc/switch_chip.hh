@@ -16,6 +16,7 @@
 #ifndef CAIS_NOC_SWITCH_CHIP_HH
 #define CAIS_NOC_SWITCH_CHIP_HH
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -76,6 +77,18 @@ class SwitchChip : public PacketSink, public Probe
     void setComputeHandler(SwitchComputeHandler *h) { handler = h; }
 
     /**
+     * Install the output-port lookup for forwarded and unit-generated
+     * packets. Multi-tier fabrics use this to steer packets whose
+     * destination is not directly attached (a remote GPU or another
+     * switch) onto the right tier link. Without a router the chip
+     * assumes the flat shape: output port == destination GPU id.
+     */
+    void setPortRouter(std::function<int(const Packet &)> r)
+    {
+        router = std::move(r);
+    }
+
+    /**
      * Point unit-generated packets at the simulation-wide id source
      * (the owning Fabric's allocator). A standalone chip (unit tests)
      * falls back to a private allocator.
@@ -107,6 +120,9 @@ class SwitchChip : public PacketSink, public Probe
     SwitchId id() const { return switchId; }
     int nodeId() const { return node; }
     int numGpus() const { return static_cast<int>(inPorts.size()); }
+    /** Port-count alias: on multi-tier chips ports cover both locally
+     *  attached GPUs and tier links, so "numGpus" is a misnomer. */
+    int numPorts() const { return static_cast<int>(inPorts.size()); }
     const SwitchParams &params() const { return p; }
 
     std::uint64_t packetsForwarded() const { return forwarded.value(); }
@@ -147,6 +163,7 @@ class SwitchChip : public PacketSink, public Probe
     std::vector<std::vector<std::vector<std::pair<int, int>>>> waiting;
 
     SwitchComputeHandler *handler = nullptr;
+    std::function<int(const Packet &)> router;
 
     PacketIdAllocator ownIds;
     PacketIdAllocator *pktIds = &ownIds;

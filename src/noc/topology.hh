@@ -1,9 +1,14 @@
 /**
  * @file
- * Fabric topology description for DGX-like systems: every GPU has one
- * up and one down link to every switch chip, replicating the
- * DGX-H100's 8-GPU / 4-NVSwitch arrangement by default. Per-GPU
- * injection bandwidth is split evenly across the switches.
+ * Fabric topology description. The default is the flat DGX-like
+ * arrangement: every GPU has one up and one down link to every switch
+ * chip (DGX-H100: 8 GPUs / 4 NVSwitches), with per-GPU injection
+ * bandwidth split evenly across the switches.
+ *
+ * Multi-tier shapes add a second switch level: GPUs are grouped into
+ * nodes, each node owns `railsPerGroup` leaf switches (rails), and
+ * every leaf connects to every spine switch. Presets cover the paper's
+ * DGX-H100 plus NVL72-class and rail-optimized multi-node fabrics.
  */
 
 #ifndef CAIS_NOC_TOPOLOGY_HH
@@ -11,6 +16,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
 #include "noc/switch_chip.hh"
@@ -45,11 +51,94 @@ struct FabricParams
 
     SwitchParams sw;
 
+    // -- Tier description (multi-tier fabrics only) -------------------
+    // numGroups GPU groups (nodes) x railsPerGroup leaf switches each,
+    // plus numSpines spine switches. numSwitches must then equal
+    // numGroups * railsPerGroup + numSpines. numSpines == 0 selects
+    // the flat single-tier topology and ignores the other tier fields.
+
+    int numGroups = 1;
+    int railsPerGroup = 0;
+    int numSpines = 0;
+
+    /** Leaf<->spine link bandwidth in bytes/cycle; 0 derives a
+     *  full-bisection value (group injection split over spines). */
+    double tierLinkBytesPerCycle = 0.0;
+
+    /** Leaf<->spine propagation latency; 0 inherits linkLatency. */
+    Cycle tierLinkLatency = 0;
+
+    bool multiTier() const { return numSpines > 0; }
+
+    int numLeaves() const { return numGroups * railsPerGroup; }
+
+    int gpusPerGroup() const
+    {
+        return numGroups > 0 ? numGpus / numGroups : numGpus;
+    }
+
+    /** Leaf switch index of (group, rail), group-major. */
+    int leafIndex(int group, int rail) const
+    {
+        return group * railsPerGroup + rail;
+    }
+
+    /** Group that GPU @p g belongs to. */
+    int groupOfGpu(int g) const
+    {
+        return multiTier() ? g / gpusPerGroup() : 0;
+    }
+
+    bool isSpineSwitch(int s) const
+    {
+        return multiTier() && s >= numLeaves();
+    }
+
+    /** Uplinks (and downlinks) each GPU has: its node's rails on a
+     *  multi-tier fabric, every switch on the flat one. */
+    int uplinksPerGpu() const
+    {
+        return multiTier() ? railsPerGroup : numSwitches;
+    }
+
     /** Per-link bandwidth in bytes/cycle for one GPU-switch pair. */
     double perLinkBytesPerCycle() const
     {
-        return perGpuBytesPerCycle / static_cast<double>(numSwitches);
+        return perGpuBytesPerCycle /
+               static_cast<double>(uplinksPerGpu());
     }
+
+    /** Effective leaf<->spine link bandwidth (derived when 0). */
+    double effectiveTierLinkBytesPerCycle() const
+    {
+        if (tierLinkBytesPerCycle > 0.0)
+            return tierLinkBytesPerCycle;
+        // Full bisection: a group's aggregate injection bandwidth,
+        // divided over its rails' uplinks to the spines.
+        return static_cast<double>(gpusPerGroup()) *
+               perLinkBytesPerCycle() /
+               static_cast<double>(numSpines > 0 ? numSpines : 1);
+    }
+
+    /** Effective leaf<->spine latency (inherits linkLatency when 0). */
+    Cycle effectiveTierLinkLatency() const
+    {
+        return tierLinkLatency > 0 ? tierLinkLatency : linkLatency;
+    }
+
+    /** Named preset; aborts on an unknown name. */
+    static FabricParams preset(const std::string &name);
+
+    /** Named preset, or nullptr for unknown names (validation path). */
+    static const FabricParams *findPreset(const std::string &name);
+
+    /** All preset names, in a fixed order. */
+    static std::vector<std::string> presetNames();
+
+    /** Copy rescaled to @p gpus GPUs: flat shapes just change the GPU
+     *  count; multi-tier shapes keep the per-group size and adjust
+     *  numGroups (and numSwitches) to match. */
+    FabricParams withGpus(int gpus) const;
 
     /** First inconsistency as a message, or "" when valid. */
     std::string validationError() const;

@@ -28,13 +28,22 @@ RunConfig::validationError() const
 {
     if (numGpus < 2)
         return strfmt("numGpus must be >= 2 (got %d)", numGpus);
-    if (numGpus > 64)
-        return strfmt("numGpus must be <= 64: the group-sync table "
-                      "tracks participants in a 64-bit mask (got %d)",
+    if (numGpus > 120)
+        return strfmt("numGpus must be <= 120: GPUs and switches "
+                      "share the fabric's 128-bit participant masks "
+                      "(got %d)",
                       numGpus);
     if (numSwitches < 1)
         return strfmt("numSwitches must be >= 1 (got %d)",
                       numSwitches);
+    if (!topology.empty() && !FabricParams::findPreset(topology)) {
+        std::string known;
+        for (const std::string &n : FabricParams::presetNames())
+            known += (known.empty() ? "" : ", ") + n;
+        return strfmt("unknown topology preset \"%s\" (expected one "
+                      "of: %s)",
+                      topology.c_str(), known.c_str());
+    }
     if (!isPowerOfTwo(chunkBytes))
         return strfmt("chunkBytes is the address-hash interleave "
                       "width and must be a non-zero power of two "
@@ -79,8 +88,12 @@ SystemConfig
 RunConfig::toSystemConfig(const StrategySpec &spec) const
 {
     SystemConfig sc;
-    sc.fabric.numGpus = numGpus;
-    sc.fabric.numSwitches = numSwitches;
+    if (!topology.empty()) {
+        sc.fabric = FabricParams::preset(topology).withGpus(numGpus);
+    } else {
+        sc.fabric.numGpus = numGpus;
+        sc.fabric.numSwitches = numSwitches;
+    }
     sc.fabric.perGpuBytesPerCycle = perGpuBwPerDir;
     sc.fabric.linkLatency = linkLatency;
     sc.fabric.interleaveBytes = chunkBytes;
@@ -167,23 +180,23 @@ runGraph(const StrategySpec &spec, const OpGraph &graph,
     MetricSnapshot snap = reg.snapshot();
     r.eventsExecuted = snap.sumU64("eventq.executed");
     r.wireBytes = snap.sumU64("link.*.wireBytes");
-    r.mergeLoadReqs = snap.sumU64("switch*.merge.loadReqs");
-    r.mergeRedReqs = snap.sumU64("switch*.merge.redReqs");
-    r.mergeLoadHits = snap.sumU64("switch*.merge.loadHits");
-    r.mergeRedHits = snap.sumU64("switch*.merge.redHits");
-    r.mergeFetches = snap.sumU64("switch*.merge.fetches");
-    r.sessionsClosed = snap.sumU64("switch*.merge.sessionsClosed");
-    r.lruEvictions = snap.sumU64("switch*.merge.evictions.lru");
+    r.mergeLoadReqs = snap.sumU64("*.merge.loadReqs");
+    r.mergeRedReqs = snap.sumU64("*.merge.redReqs");
+    r.mergeLoadHits = snap.sumU64("*.merge.loadHits");
+    r.mergeRedHits = snap.sumU64("*.merge.redHits");
+    r.mergeFetches = snap.sumU64("*.merge.fetches");
+    r.sessionsClosed = snap.sumU64("*.merge.sessionsClosed");
+    r.lruEvictions = snap.sumU64("*.merge.evictions.lru");
     r.timeoutEvictions =
-        snap.sumU64("switch*.merge.evictions.timeout");
+        snap.sumU64("*.merge.evictions.timeout");
     r.throttleHints =
-        snap.sumU64("switch*.merge.throttle.hintsSent");
-    r.peakMergeBytes = snap.maxU64("switch*.merge.peakTableBytes");
+        snap.sumU64("*.merge.throttle.hintsSent");
+    r.peakMergeBytes = snap.maxU64("*.merge.peakTableBytes");
 
     // Count-weighted mean over the per-switch stagger histograms.
     double stagger_weighted = 0.0;
     std::uint64_t stagger_n = 0;
-    snap.forEach("switch*.merge.stagger",
+    snap.forEach("*.merge.stagger",
                  [&](const std::string &, const MetricValue &v) {
         stagger_weighted += v.mean * static_cast<double>(v.count);
         stagger_n += v.count;

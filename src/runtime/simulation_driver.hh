@@ -25,6 +25,16 @@ struct RunConfig
 {
     int numGpus = 8;
     int numSwitches = 4;
+
+    /**
+     * Fabric preset name ("dgx-h100", "nvl72",
+     * "rail-optimized-2node", "rail-optimized-4node"); empty keeps
+     * the flat numGpus x numSwitches shape above. Presets are scaled
+     * to numGpus via FabricParams::withGpus, so sweeps can vary the
+     * GPU count while keeping the preset's tier structure.
+     */
+    std::string topology;
+
     GpuParams gpu;
 
     /**

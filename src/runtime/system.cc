@@ -10,8 +10,15 @@ namespace cais
 
 namespace
 {
-/** Pseudo home-GPU id of the shared (multimem-style) window. */
-constexpr GpuId sharedWindowGpu = 62;
+/** Pseudo home-GPU id of the shared (multimem-style) window: the
+ *  historical 62 when it cannot collide with a real GPU, else the top
+ *  of the address field's comfortable range (fabrics are capped well
+ *  below 127 GPUs). */
+constexpr GpuId
+sharedWindowGpu(int num_gpus)
+{
+    return num_gpus <= 62 ? 62 : 127;
+}
 } // namespace
 
 GpuId
@@ -86,9 +93,41 @@ System::System(const SystemConfig &cfg_)
     cfg.gpu.validate();
 
     fab = std::make_unique<Fabric>(queue, cfg.fabric);
-    for (SwitchId s = 0; s < cfg.fabric.numSwitches; ++s) {
+    const FabricParams &fp = cfg.fabric;
+    for (SwitchId s = 0; s < fp.numSwitches; ++s) {
+        InSwitchParams isp = cfg.inswitch;
+        if (fp.multiTier()) {
+            Fabric *f = fab.get();
+            int rails = fp.railsPerGroup;
+            TierInfo &t = isp.tier;
+            t.fabricGpus = fp.numGpus;
+            t.numGroups = fp.numGroups;
+            t.gpusPerGroup = fp.gpusPerGroup();
+            t.spineNodeForAddr = [f](Addr a) {
+                return f->spineNodeForAddr(a);
+            };
+            t.spineNodeForGroup = [f](GroupId g) {
+                return f->spineNodeForGroup(g);
+            };
+            t.leafNodeForAddr = [f, rails](int grp, Addr a) {
+                return f->switchNodeId(grp * rails + f->routeAddr(a));
+            };
+            t.leafNodeForGroup = [f, rails](int grp, GroupId g) {
+                return f->switchNodeId(grp * rails + f->routeGroup(g));
+            };
+            if (fp.isSpineSwitch(s)) {
+                t.role = TierRole::spine;
+                // Cross-leaf partials are not TB traffic; the leaves
+                // already throttle their local GPUs.
+                isp.merge.throttleEnabled = false;
+            } else {
+                t.role = TierRole::leaf;
+                t.groupIndex = s / rails;
+                t.firstLocalGpu = t.groupIndex * t.gpusPerGroup;
+            }
+        }
         complexes.push_back(std::make_unique<SwitchComputeComplex>(
-            fab->switchChip(s), cfg.inswitch));
+            fab->switchChip(s), isp));
     }
     for (GpuId g = 0; g < cfg.fabric.numGpus; ++g) {
         gpus.push_back(
@@ -191,7 +230,7 @@ System::allocLocal(GpuId g, std::uint64_t bytes)
 Addr
 System::allocShared(std::uint64_t bytes)
 {
-    Addr base = makeAddr(sharedWindowGpu, sharedBump + 4096);
+    Addr base = makeAddr(sharedWindowGpu(numGpus()), sharedBump + 4096);
     sharedBump += (bytes + 8191) & ~std::uint64_t(4095);
     return base;
 }
@@ -556,11 +595,22 @@ System::registerMetrics(MetricRegistry &reg) const
 {
     reg.addGaugeU64("eventq.executed",
                     [this] { return queue.executed(); });
+    const FabricParams &fp = cfg.fabric;
     for (std::size_t s = 0; s < complexes.size(); ++s) {
-        std::string prefix = "switch" + std::to_string(s);
+        // Tier-prefixed switch paths on multi-tier fabrics; flat
+        // shapes keep the historical switch<S> names so report diffs
+        // against older runs line up.
+        SwitchId si = static_cast<SwitchId>(s);
+        std::string prefix;
+        if (!fp.multiTier())
+            prefix = "switch" + std::to_string(s);
+        else if (fp.isSpineSwitch(si))
+            prefix = "spine.sw" + std::to_string(si - fp.numLeaves());
+        else
+            prefix = "leaf" + std::to_string(si / fp.railsPerGroup) +
+                     ".sw" + std::to_string(si % fp.railsPerGroup);
         complexes[s]->registerMetrics(reg, prefix);
-        fab->switchChip(static_cast<SwitchId>(s))
-            .registerMetrics(reg, prefix + ".chip");
+        fab->switchChip(si).registerMetrics(reg, prefix + ".chip");
     }
     for (std::size_t g = 0; g < gpus.size(); ++g)
         gpus[g]->registerMetrics(reg, "gpu" + std::to_string(g));

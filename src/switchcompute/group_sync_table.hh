@@ -3,6 +3,16 @@
  * Switch-side Group Sync Table (Fig. 8b): counts pre-launch and
  * pre-access synchronization requests per TB group and broadcasts a
  * release to all participating GPUs once every GPU has registered.
+ *
+ * On multi-tier fabrics the rendezvous is hierarchical: each leaf
+ * records which of its local GPUs registered (for the release
+ * fan-out) and forwards every registration to the group's spine,
+ * which counts them against the *global* participant count the
+ * requesters carry. Counting only at the spine keeps the flat
+ * semantics — "any pkt.expected registrants complete the group" —
+ * exact even when the participant set excludes a GPU whose location
+ * the switches cannot know (e.g. the home GPU of a reduction group
+ * syncs G-1 remote contributors).
  */
 
 #ifndef CAIS_SWITCHCOMPUTE_GROUP_SYNC_TABLE_HH
@@ -12,9 +22,11 @@
 #include <unordered_map>
 
 #include "common/metrics.hh"
+#include "common/nodemask.hh"
 #include "common/stats.hh"
 #include "common/trace_hooks.hh"
 #include "noc/switch_chip.hh"
+#include "switchcompute/tier.hh"
 
 namespace cais
 {
@@ -26,13 +38,16 @@ enum class SyncPhase : std::uint8_t { preLaunch = 0, preAccess = 1 };
 class GroupSyncTable : public Probe
 {
   public:
-    explicit GroupSyncTable(SwitchChip &sw);
+    explicit GroupSyncTable(SwitchChip &sw, const TierInfo &tier = {});
 
     /** Attach a rendezvous-window observer (nullptr detaches). */
     void setTraceHooks(SwitchTraceHooks *h) { hooks = h; }
 
     /** Consume one groupSyncReq packet. */
     void handleSyncReq(Packet &&pkt);
+
+    /** Consume the spine's release at a leaf (multi-tier only). */
+    void handleRelease(Packet &&pkt);
 
     std::uint64_t requests() const { return reqs.value(); }
     std::uint64_t releases() const { return rels.value(); }
@@ -48,7 +63,7 @@ class GroupSyncTable : public Probe
     struct Entry
     {
         int count = 0;
-        std::uint64_t mask = 0;
+        NodeMask mask;
         Cycle first = 0;
     };
 
@@ -58,7 +73,11 @@ class GroupSyncTable : public Probe
         return (static_cast<std::uint64_t>(g) << 1) | (phase & 1);
     }
 
+    void broadcastRelease(const NodeMask &mask, GroupId group,
+                          std::uint64_t phase);
+
     SwitchChip &sw;
+    TierInfo tier;
     SwitchTraceHooks *hooks = nullptr;
     std::unordered_map<std::uint64_t, Entry> pending;
     Counter reqs;

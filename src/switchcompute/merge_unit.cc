@@ -7,13 +7,17 @@
 namespace cais
 {
 
-MergeUnit::MergeUnit(SwitchChip &sw_, const MergeParams &params)
-    : sw(sw_), p(params), policy(params.timeout),
-      throttle(sw_.numGpus(), params.throttleThreshold,
+MergeUnit::MergeUnit(SwitchChip &sw_, const MergeParams &params,
+                     const TierInfo &tier_)
+    : sw(sw_), p(params), tier(tier_), policy(params.timeout),
+      throttle(tier_.gpus(sw_), params.throttleThreshold,
                params.throttlePause, params.throttleHintInterval)
 {
-    tables.reserve(static_cast<std::size_t>(sw.numGpus()));
-    for (int g = 0; g < sw.numGpus(); ++g)
+    // Tables are indexed by the home GPU, a fabric-global id: on a
+    // tiered fabric a leaf can open sessions homed at remote GPUs.
+    int homes = tier.gpus(sw);
+    tables.reserve(static_cast<std::size_t>(homes));
+    for (int g = 0; g < homes; ++g)
         tables.emplace_back(p.tableBytesPerPort, p.chunkBytes);
 
     if (p.throttleEnabled) {
@@ -93,7 +97,8 @@ MergeUnit::respondLoad(const Packet &req, std::uint32_t bytes)
 
 void
 MergeUnit::issueFetch(GpuId home, Addr addr, std::uint32_t bytes,
-                      bool bypass, const Packet *original, KernelId kernel)
+                      bool bypass, const Packet *original, KernelId kernel,
+                      GroupId group)
 {
     std::uint64_t id = nextFetchId++;
     FetchCtx &ctx = fetches[id];
@@ -102,6 +107,25 @@ MergeUnit::issueFetch(GpuId home, Addr addr, std::uint32_t bytes,
     ctx.bypass = bypass;
     if (bypass && original)
         ctx.original = *original;
+
+    if (tier.isLeaf() && tier.numGroups > 1 && !bypass) {
+        // Proxy the fetch through the spine's merge unit so the home
+        // GPU still transmits the data only once fabric-wide: every
+        // group's leaf registers one caisLoadReq with the spine.
+        Packet rd = sw.makePacket(PacketType::caisLoadReq,
+                                  tier.spineNodeForAddr(addr));
+        rd.addr = addr;
+        rd.reqBytes = bytes;
+        rd.cookie = cookieTagMerge | id;
+        rd.kernel = kernel;
+        rd.group = group;
+        rd.expected = tier.numGroups;
+        rd.issuerGpu = sw.nodeId();
+        rd.tierHop = 1;
+        sw.sendToGpu(std::move(rd));
+        st.fetches.inc();
+        return;
+    }
 
     Packet rd = sw.makePacket(PacketType::readReq, home);
     rd.addr = addr;
@@ -119,6 +143,11 @@ MergeUnit::handleLoadReq(Packet &&pkt)
 {
     st.loadReqs.inc();
     GpuId home = addrHomeGpu(pkt.addr);
+    // Per-tier participant rewrite: a leaf session completes once all
+    // local requesters are served (the spine proxy carries the group
+    // count set by issueFetch).
+    if (tier.isLeaf())
+        pkt.expected = tier.localExpected(pkt.expected, home, sw);
     probeArrival(pkt.addr, true, pkt.expected);
     Cycle now = sw.eventQueue().now();
 
@@ -127,7 +156,7 @@ MergeUnit::handleLoadReq(Packet &&pkt)
     if (e) {
         st.loadHits.inc();
         ++e->count;
-        e->contribMask |= 1ull << pkt.issuerGpu;
+        e->contribMask.set(pkt.issuerGpu);
         e->lastAccess = now;
         throttle.onContribution(pkt.group, pkt.issuerGpu, now);
         if (e->state == SessionState::loadWait) {
@@ -150,7 +179,7 @@ MergeUnit::handleLoadReq(Packet &&pkt)
             // entirely to avoid thrashing (Sec. III-A.4).
             evSt.deferredEvictions.inc();
             issueFetch(home, pkt.addr, pkt.reqBytes, true, &pkt,
-                       pkt.kernel);
+                       pkt.kernel, pkt.group);
             return;
         }
         evictEntry(home, victim, false);
@@ -164,7 +193,7 @@ MergeUnit::handleLoadReq(Packet &&pkt)
     e->expected = pkt.expected;
     e->group = pkt.group;
     e->count = 1;
-    e->contribMask = 1ull << pkt.issuerGpu;
+    e->contribMask.set(pkt.issuerGpu);
     e->allocatedAt = now;
     e->firstRequestAt = now;
     e->lastAccess = now;
@@ -174,8 +203,9 @@ MergeUnit::handleLoadReq(Packet &&pkt)
     std::uint32_t bytes = e->bytes;
     Addr addr = pkt.addr;
     KernelId kernel = pkt.kernel;
+    GroupId group = pkt.group;
     e->pendingRequesters.push_back(std::move(pkt));
-    issueFetch(home, addr, bytes, false, nullptr, kernel);
+    issueFetch(home, addr, bytes, false, nullptr, kernel, group);
     scheduleSweep();
 }
 
@@ -220,7 +250,14 @@ MergeUnit::handleRedReq(Packet &&pkt)
 {
     st.redReqs.inc();
     GpuId home = addrHomeGpu(pkt.addr);
-    probeArrival(pkt.addr, false, pkt.expected);
+    // Per-tier participant rewrite: a leaf accumulates only its local
+    // contributions and pushes one partial to the spine, which closes
+    // once the partial counts sum to the fabric-global expectation.
+    int global_expected = pkt.expected;
+    if (tier.isLeaf())
+        pkt.expected = tier.localExpected(global_expected, home, sw);
+    probeArrival(pkt.addr, false,
+                 tier.isSpine() ? tier.numGroups : pkt.expected);
     Cycle now = sw.eventQueue().now();
 
     MergingTable &tbl = table(home);
@@ -233,6 +270,22 @@ MergeUnit::handleRedReq(Packet &&pkt)
                 // unmerged to preserve forward progress.
                 evSt.deferredEvictions.inc();
                 st.unmergedWrites.inc();
+                if (tier.isLeaf() && tier.numGroups > 1) {
+                    // Upstream: the spine still needs every count.
+                    Packet w = sw.makePacket(PacketType::caisRedReq,
+                                             tier.spineNodeForAddr(
+                                                 pkt.addr));
+                    w.addr = pkt.addr;
+                    w.payloadBytes = pkt.payloadBytes;
+                    w.kernel = pkt.kernel;
+                    w.group = pkt.group;
+                    w.contribs = 1;
+                    w.expected = global_expected;
+                    w.issuerGpu = sw.nodeId();
+                    w.tierHop = 1;
+                    sw.sendToGpu(std::move(w));
+                    return;
+                }
                 Packet w = sw.makePacket(PacketType::caisMergedWrite, home);
                 w.addr = pkt.addr;
                 w.payloadBytes = pkt.payloadBytes;
@@ -251,6 +304,7 @@ MergeUnit::handleRedReq(Packet &&pkt)
             hooks->onMergeSessionOpen(sw.id(), home, pkt.addr, false,
                                       now);
         e->expected = pkt.expected;
+        e->globalExpected = global_expected;
         e->group = pkt.group;
         e->allocatedAt = now;
         e->firstRequestAt = now;
@@ -260,8 +314,9 @@ MergeUnit::handleRedReq(Packet &&pkt)
         st.redHits.inc();
     }
 
-    ++e->count;
-    e->contribMask |= 1ull << pkt.issuerGpu;
+    // A spine contribution is a leaf partial carrying its merged count.
+    e->count += (tier.isSpine() && pkt.contribs > 0) ? pkt.contribs : 1;
+    e->contribMask.set(pkt.issuerGpu);
     e->lastAccess = now;
     if (e->group == invalidId)
         e->group = pkt.group;
@@ -289,11 +344,38 @@ MergeUnit::emitMergedWrite(const MergeEntry &e)
 }
 
 void
+MergeUnit::emitPartialUpstream(const MergeEntry &e)
+{
+    // The spine accumulates per-leaf counts until they sum to the
+    // fabric-global expectation, so partial (evicted) sessions are
+    // forwarded with their current count exactly once.
+    Packet w = sw.makePacket(PacketType::caisRedReq,
+                             tier.spineNodeForAddr(e.addr));
+    w.addr = e.addr;
+    w.payloadBytes = e.bytes;
+    w.group = e.group;
+    w.contribs = e.count;
+    w.expected = e.globalExpected;
+    w.issuerGpu = sw.nodeId();
+    w.tierHop = 1;
+    st.partialUpstream.inc();
+
+    sw.eventQueue().scheduleAfter(p.reduceDelay,
+        [this, pkt = std::move(w)]() mutable {
+        sw.sendToGpu(std::move(pkt));
+    });
+}
+
+void
 MergeUnit::closeSession(GpuId port, MergeEntry *e, bool complete)
 {
     noteClose(e->isLoad());
-    if (e->state == SessionState::reduction)
-        emitMergedWrite(*e);
+    if (e->state == SessionState::reduction) {
+        if (tier.isLeaf() && tier.numGroups > 1)
+            emitPartialUpstream(*e);
+        else
+            emitMergedWrite(*e);
+    }
     throttle.onSessionClose(e->group, e->contribMask);
     if (complete)
         st.sessionsClosed.inc();
@@ -336,7 +418,8 @@ MergeUnit::timeoutSweep()
     sweepScheduled = false;
     Cycle now = sw.eventQueue().now();
     bool any_live = false;
-    for (GpuId port = 0; port < sw.numGpus(); ++port) {
+    for (GpuId port = 0; port < static_cast<GpuId>(tables.size());
+         ++port) {
         MergingTable &tbl = table(port);
         for (MergeEntry *e : policy.expired(tbl, now))
             evictEntry(port, e, true);
@@ -391,6 +474,8 @@ MergeUnit::registerMetrics(MetricRegistry &reg,
     reg.addCounter(prefix + ".mergedWrites", &st.mergedWrites);
     reg.addCounter(prefix + ".sessionsOpened", &st.sessionsOpened);
     reg.addCounter(prefix + ".sessionsClosed", &st.sessionsClosed);
+    if (tier.isLeaf())
+        reg.addCounter(prefix + ".partialUpstream", &st.partialUpstream);
 
     reg.addCounter(prefix + ".evictions.lru", &evSt.lruEvictions);
     reg.addCounter(prefix + ".evictions.timeout",

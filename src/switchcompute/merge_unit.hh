@@ -32,6 +32,7 @@
 #include "switchcompute/eviction.hh"
 #include "switchcompute/merging_table.hh"
 #include "switchcompute/throttle.hh"
+#include "switchcompute/tier.hh"
 
 namespace cais
 {
@@ -74,13 +75,15 @@ struct MergeStats
     Counter mergedWrites;   ///< fully/partially merged writes emitted
     Counter sessionsOpened;
     Counter sessionsClosed; ///< closed with all expected requests
+    Counter partialUpstream; ///< leaf partial reductions sent upstream
 };
 
 /** The switch-resident compute-aware merging engine. */
 class MergeUnit : public Probe
 {
   public:
-    MergeUnit(SwitchChip &sw, const MergeParams &params = {});
+    MergeUnit(SwitchChip &sw, const MergeParams &params = {},
+              const TierInfo &tier = {});
 
     /** Attach a session-lifecycle observer (nullptr detaches). */
     void setTraceHooks(SwitchTraceHooks *h) { hooks = h; }
@@ -156,14 +159,19 @@ class MergeUnit : public Probe
     /** Emit a (possibly partial) merged reduction write to home. */
     void emitMergedWrite(const MergeEntry &e);
 
+    /** Leaf: push a (possibly partial) reduction to the spine. */
+    void emitPartialUpstream(const MergeEntry &e);
+
     void respondLoad(const Packet &req, std::uint32_t bytes);
     void issueFetch(GpuId home, Addr addr, std::uint32_t bytes,
-                    bool bypass, const Packet *original, KernelId kernel);
+                    bool bypass, const Packet *original, KernelId kernel,
+                    GroupId group = invalidId);
     void scheduleSweep();
     void timeoutSweep();
 
     SwitchChip &sw;
     MergeParams p;
+    TierInfo tier;
     EvictionPolicy policy;
     ThrottleController throttle;
 

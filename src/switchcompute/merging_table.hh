@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/nodemask.hh"
 #include "common/types.hh"
 #include "noc/packet.hh"
 #include "switchcompute/cam_table.hh"
@@ -44,8 +45,12 @@ struct MergeEntry
     int count = 0;
     /** Requests expected before the session completes. */
     int expected = 0;
-    /** Bitmask of GPUs that contributed (throttling bookkeeping). */
-    std::uint64_t contribMask = 0;
+    /** Fabric-wide participant count, forwarded upstream by leaf
+     *  switches so the spine knows when the combine is complete. */
+    int globalExpected = 0;
+    /** Bitmask of nodes that contributed (throttling bookkeeping;
+     *  GPU ids at leaves, leaf node ids at the spine). */
+    NodeMask contribMask;
 
     /** Data bytes this session occupies in the table. */
     std::uint32_t bytes = 0;

@@ -13,6 +13,11 @@
  *  - multimem.red       : push-mode reduction. Contributions from all
  *                         GPUs are accumulated in the switch and the
  *                         result is written to every replica.
+ *
+ * On multi-tier fabrics each primitive runs hierarchically: a leaf
+ * handles its local GPUs and exchanges one aggregate packet per
+ * primitive with the spine (tierHop 1 up, tierHop 2 down), and the
+ * spine combines/distributes across groups.
  */
 
 #ifndef CAIS_SWITCHCOMPUTE_NVLS_UNIT_HH
@@ -22,8 +27,10 @@
 #include <unordered_map>
 
 #include "common/metrics.hh"
+#include "common/nodemask.hh"
 #include "common/stats.hh"
 #include "noc/switch_chip.hh"
+#include "switchcompute/tier.hh"
 
 namespace cais
 {
@@ -39,7 +46,8 @@ struct NvlsParams
 class NvlsUnit : public Probe
 {
   public:
-    NvlsUnit(SwitchChip &sw, const NvlsParams &params = {});
+    NvlsUnit(SwitchChip &sw, const NvlsParams &params = {},
+             const TierInfo &tier = {});
 
     void handleMultimemSt(Packet &&pkt);
     void handleLdReduceReq(Packet &&pkt);
@@ -47,6 +55,9 @@ class NvlsUnit : public Probe
 
     /** Read response for a gather this unit issued (cookie-tagged). */
     void handleReadResp(Packet &&pkt);
+
+    /** Reduced tier response returned to this switch (multi-tier). */
+    void handleLdReduceResp(Packet &&pkt);
 
     std::uint64_t multicasts() const { return stMulticasts.value(); }
     std::uint64_t gatherReduces() const { return gathersDone.value(); }
@@ -68,7 +79,9 @@ class NvlsUnit : public Probe
   private:
     struct GatherSession
     {
-        GpuId requester = invalidId;
+        /** Node the reduced response returns to: the requesting GPU
+         *  at its own leaf, the downstream switch for tier legs. */
+        int requester = invalidId;
         Addr addr = 0;
         std::uint32_t bytes = 0;
         std::uint32_t pad = 0;
@@ -84,12 +97,19 @@ class NvlsUnit : public Probe
         int arrived = 0;
         int expected = 0;
         std::uint32_t bytes = 0;
-        std::uint64_t mask = 0;
+        NodeMask mask;
         KernelId kernel = invalidId;
+        std::uint8_t tierHop = 0;
+        /** Total GPU contributions represented (hierarchical sums). */
+        int contribs = 0;
     };
+
+    void completeGather(std::uint64_t id, GatherSession &s);
+    void replicateLocal(const Packet &pkt);
 
     SwitchChip &sw;
     NvlsParams p;
+    TierInfo tier;
 
     std::unordered_map<std::uint64_t, GatherSession> gathers;
     std::unordered_map<Addr, RedSession> reds;

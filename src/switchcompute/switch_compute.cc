@@ -7,8 +7,9 @@ namespace cais
 
 SwitchComputeComplex::SwitchComputeComplex(SwitchChip &sw_,
                                            const InSwitchParams &params)
-    : sw(sw_), nvlsUnit(sw_, params.nvls), mergeUnit(sw_, params.merge),
-      syncTable(sw_)
+    : sw(sw_), nvlsUnit(sw_, params.nvls, params.tier),
+      mergeUnit(sw_, params.merge, params.tier),
+      syncTable(sw_, params.tier)
 {
     sw.setComputeHandler(this);
 }
@@ -25,8 +26,11 @@ SwitchComputeComplex::wants(const Packet &pkt) const
       case PacketType::groupSyncReq:
         return true;
       case PacketType::readResp:
-        // Responses addressed to this switch belong to a unit fetch;
-        // GPU-to-GPU read responses are forwarded normally.
+      case PacketType::caisLoadResp:
+      case PacketType::multimemLdReduceResp:
+      case PacketType::groupSyncRelease:
+        // Responses addressed to this switch belong to a unit fetch or
+        // a tier exchange; anything else is forwarded normally.
         return pkt.dst == sw.nodeId();
       default:
         return false;
@@ -65,6 +69,16 @@ SwitchComputeComplex::handlePacket(Packet &&pkt)
             panic("switch read response with unknown cookie tag");
         break;
       }
+      case PacketType::caisLoadResp:
+        // Spine's response to a leaf proxy fetch (merge-tagged).
+        mergeUnit.handleReadResp(std::move(pkt));
+        break;
+      case PacketType::multimemLdReduceResp:
+        nvlsUnit.handleLdReduceResp(std::move(pkt));
+        break;
+      case PacketType::groupSyncRelease:
+        syncTable.handleRelease(std::move(pkt));
+        break;
       default:
         panic("switch compute cannot handle packet type %s",
               packetTypeName(pkt.type));

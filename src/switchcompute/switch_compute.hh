@@ -22,6 +22,8 @@ struct InSwitchParams
 {
     NvlsParams nvls;
     MergeParams merge;
+    /** Placement of this switch in the fabric (flat by default). */
+    TierInfo tier;
 };
 
 /** One switch's in-switch computing engines. */

@@ -42,22 +42,23 @@ ThrottleController::onContribution(GroupId group, GpuId g, Cycle now)
 }
 
 void
-ThrottleController::onSessionClose(GroupId group, std::uint64_t mask)
+ThrottleController::onSessionClose(GroupId group, const NodeMask &mask)
 {
     auto it = open.find(group);
     if (it == open.end())
         return;
     auto &counts = it->second;
+    mask.forEach([this, &counts](int g) {
+        if (g >= numGpus)
+            return;
+        int &c = counts[static_cast<std::size_t>(g)];
+        if (c > 0)
+            --c;
+    });
     bool any = false;
-    for (int g = 0; g < numGpus; ++g) {
-        if (mask & (1ull << g)) {
-            int &c = counts[static_cast<std::size_t>(g)];
-            if (c > 0)
-                --c;
-        }
+    for (int g = 0; g < numGpus; ++g)
         if (counts[static_cast<std::size_t>(g)] > 0)
             any = true;
-    }
     if (!any)
         open.erase(it);
 }

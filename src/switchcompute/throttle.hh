@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/metrics.hh"
+#include "common/nodemask.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -40,8 +41,10 @@ class ThrottleController : public Probe
     /** Called when GPU @p g contributes to an incomplete session. */
     void onContribution(GroupId group, GpuId g, Cycle now);
 
-    /** Called when a session closes with contributor mask @p mask. */
-    void onSessionClose(GroupId group, std::uint64_t mask);
+    /** Called when a session closes with contributor mask @p mask
+     *  (bits outside [0, num_gpus) — remote-tier proxies — are
+     *  ignored). */
+    void onSessionClose(GroupId group, const NodeMask &mask);
 
     /** Hint sink: (gpu, group, pause cycles). */
     void setHintCallback(std::function<void(GpuId, GroupId, Cycle)> cb);

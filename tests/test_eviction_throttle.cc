@@ -126,7 +126,10 @@ TEST(Throttle, SessionCloseDecrementsContributors)
     tc.onContribution(2, 0, 0);
     tc.onContribution(2, 1, 0);
     EXPECT_EQ(tc.unmatched(2, 0), 1);
-    tc.onSessionClose(2, 0b0011);
+    NodeMask closed;
+    closed.set(0);
+    closed.set(1);
+    tc.onSessionClose(2, closed);
     EXPECT_EQ(tc.unmatched(2, 0), 0);
     EXPECT_EQ(tc.unmatched(2, 1), 0);
 }

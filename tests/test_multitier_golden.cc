@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Bit-equality lock for the multi-tier refactor: the default flat
+ * configuration and the "dgx-h100" preset must reproduce the seed's
+ * fig12/tab02 numbers exactly, for every strategy. Any change to
+ * topology construction, routing, merging, or sync that perturbs the
+ * flat path by even one cycle or one wire byte fails here.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/simulation_driver.hh"
+#include "workload/transformer.hh"
+
+using namespace cais;
+
+namespace
+{
+
+struct Golden
+{
+    const char *name;
+    Cycle makespan;
+    std::uint64_t wireBytes;
+};
+
+/** Seed numbers: llama7B().scaled(0.25, 0.125), SubLayer L1,
+ *  default RunConfig (8 GPUs x 4 switches, seed 1). */
+const Golden kSeedL1[] = {
+    {"TP-NVLS", 44454ull, 60410880ull},
+    {"SP-NVLS", 49329ull, 60410880ull},
+    {"CoCoNet", 65018ull, 99348480ull},
+    {"FuseLib", 50608ull, 99348480ull},
+    {"T3", 44861ull, 82833408ull},
+    {"CoCoNet-NVLS", 47062ull, 60410880ull},
+    {"FuseLib-NVLS", 41711ull, 60410880ull},
+    {"T3-NVLS", 38836ull, 47342592ull},
+    {"LADM", 89330ull, 266305536ull},
+    {"CAIS-Base", 37374ull, 37969920ull},
+    {"CAIS", 35113ull, 38009184ull},
+};
+
+void
+expectSeedNumbers(const RunConfig &cfg)
+{
+    OpGraph g =
+        buildSubLayer(llama7B().scaled(0.25, 0.125), SubLayerId::L1);
+    for (const Golden &gold : kSeedL1) {
+        RunResult r =
+            runGraph(strategyByName(gold.name), g, cfg, "L1");
+        EXPECT_EQ(r.makespan, gold.makespan) << gold.name;
+        EXPECT_EQ(r.wireBytes, gold.wireBytes) << gold.name;
+    }
+}
+
+} // namespace
+
+TEST(MultiTierGolden, FlatDefaultReproducesSeedExactly)
+{
+    RunConfig cfg;
+    expectSeedNumbers(cfg);
+}
+
+TEST(MultiTierGolden, DgxH100PresetIsBitIdenticalToFlat)
+{
+    // The named preset goes through FabricParams::preset() instead of
+    // the flat gpus x switches constructor; both must be the same
+    // fabric down to the last cycle.
+    RunConfig cfg;
+    cfg.topology = "dgx-h100";
+    expectSeedNumbers(cfg);
+}

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Multi-tier topology properties: every preset at every supported
+ * GPU count builds the right link set with full-bisection tier
+ * bandwidth, the hierarchical routing helpers stay inside their
+ * tier's node-id ranges while covering every rail and spine, and
+ * impossible tier shapes are rejected with clear messages before a
+ * System can be constructed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "noc/network.hh"
+#include "runtime/simulation_driver.hh"
+
+using namespace cais;
+
+namespace
+{
+
+/** GPU counts the sweep probes; withGpus keeps each preset's
+ *  per-group size, so invalid combinations are skipped explicitly. */
+const int kGpuSweep[] = {8, 16, 32, 72};
+
+std::vector<std::pair<std::string, FabricParams>>
+sweepShapes()
+{
+    std::vector<std::pair<std::string, FabricParams>> shapes;
+    for (const std::string &name : FabricParams::presetNames()) {
+        for (int gpus : kGpuSweep) {
+            FabricParams p =
+                FabricParams::preset(name).withGpus(gpus);
+            if (!p.validationError().empty())
+                continue;
+            shapes.emplace_back(name + "@" + std::to_string(gpus),
+                                p);
+        }
+    }
+    return shapes;
+}
+
+} // namespace
+
+TEST(MultiTierTopology, SweepCoversEveryPresetUpTo72Gpus)
+{
+    std::set<std::string> presets;
+    int maxGpus = 0;
+    for (const auto &[label, p] : sweepShapes()) {
+        presets.insert(label.substr(0, label.find('@')));
+        maxGpus = std::max(maxGpus, p.numGpus);
+    }
+    EXPECT_EQ(presets.size(), FabricParams::presetNames().size());
+    EXPECT_EQ(maxGpus, 72);
+}
+
+TEST(MultiTierTopology, LinkCountMatchesTierShape)
+{
+    for (const auto &[label, p] : sweepShapes()) {
+        SCOPED_TRACE(label);
+        EventQueue eq;
+        Fabric f(eq, p);
+        int links = 0;
+        f.forEachLink([&](const CreditLink &) { ++links; });
+        int expected = p.multiTier()
+            ? 2 * p.numGpus * p.railsPerGroup +
+                  2 * p.numLeaves() * p.numSpines
+            : 2 * p.numGpus * p.numSwitches;
+        EXPECT_EQ(links, expected);
+    }
+}
+
+TEST(MultiTierTopology, AggregateBandwidthIsConserved)
+{
+    for (const auto &[label, p] : sweepShapes()) {
+        SCOPED_TRACE(label);
+        // A GPU's injection bandwidth splits evenly over its uplinks.
+        EXPECT_NEAR(p.perLinkBytesPerCycle() *
+                        static_cast<double>(p.uplinksPerGpu()),
+                    p.perGpuBytesPerCycle, 1e-9);
+        if (!p.multiTier())
+            continue;
+        // Full bisection: each group's rails reach the spines with at
+        // least the group's aggregate injection bandwidth.
+        double groupInjection =
+            static_cast<double>(p.gpusPerGroup()) *
+            p.perGpuBytesPerCycle;
+        double groupTierUp = static_cast<double>(p.railsPerGroup) *
+                             static_cast<double>(p.numSpines) *
+                             p.effectiveTierLinkBytesPerCycle();
+        EXPECT_NEAR(groupTierUp, groupInjection, 1e-9);
+    }
+}
+
+TEST(MultiTierTopology, RoutingCoverageStaysInTierRanges)
+{
+    for (const auto &[label, p] : sweepShapes()) {
+        SCOPED_TRACE(label);
+        EventQueue eq;
+        Fabric f(eq, p);
+        const int G = p.numGpus;
+        const int rails = p.uplinksPerGpu();
+
+        for (GpuId g = 0; g < G; g += std::max(1, G / 8)) {
+            std::set<int> mergeNodes;
+            for (int chunk = 0; chunk < 64; ++chunk) {
+                Addr a = makeAddr(g, static_cast<Addr>(chunk) *
+                                         p.interleaveBytes);
+                int node = f.mergeNode(g, a);
+                ASSERT_TRUE(f.isSwitchNode(node));
+                mergeNodes.insert(node);
+                if (p.multiTier()) {
+                    // The merge node is a leaf of g's own group.
+                    int s = node - G;
+                    int grp = p.groupOfGpu(g);
+                    EXPECT_GE(s, p.leafIndex(grp, 0));
+                    EXPECT_LT(s, p.leafIndex(grp + 1, 0));
+                    // The spine for the same address is a spine.
+                    int spine = f.spineNodeForAddr(a);
+                    EXPECT_GE(spine - G, p.numLeaves());
+                    EXPECT_LT(spine - G, p.numSwitches);
+                } else {
+                    EXPECT_EQ(node, G + f.routeAddr(a));
+                }
+            }
+            // Address hashing spreads one GPU's chunks over all its
+            // rails (flat: all switches).
+            EXPECT_EQ(static_cast<int>(mergeNodes.size()), rails);
+        }
+
+        if (p.multiTier()) {
+            // Group hashing covers every spine once enough groups
+            // exist, and never leaves the spine range.
+            std::set<int> spines;
+            for (GroupId grp = 0; grp < 64; ++grp) {
+                int node = f.spineNodeForGroup(grp);
+                EXPECT_GE(node - G, p.numLeaves());
+                EXPECT_LT(node - G, p.numSwitches);
+                spines.insert(node);
+            }
+            EXPECT_EQ(static_cast<int>(spines.size()), p.numSpines);
+        }
+    }
+}
+
+TEST(MultiTierTopology, WithGpusRescalesGroupCount)
+{
+    FabricParams p = FabricParams::preset("nvl72").withGpus(16);
+    EXPECT_TRUE(p.validationError().empty());
+    EXPECT_EQ(p.numGroups, 2);
+    EXPECT_EQ(p.gpusPerGroup(), 8);
+    EXPECT_EQ(p.numSwitches, p.numLeaves() + p.numSpines);
+}
+
+TEST(MultiTierTopology, RejectsIndivisibleGpuCount)
+{
+    FabricParams p = FabricParams::preset("nvl72").withGpus(10);
+    EXPECT_NE(p.validationError().find("divisible"),
+              std::string::npos);
+}
+
+TEST(MultiTierTopology, RejectsSwitchCountMismatch)
+{
+    FabricParams p = FabricParams::preset("rail-optimized-2node");
+    p.numSwitches += 1;
+    EXPECT_NE(p.validationError().find("does not match the tier"),
+              std::string::npos);
+}
+
+TEST(MultiTierTopology, RejectsTierShapeWithoutSpines)
+{
+    FabricParams p;
+    p.numGpus = 16;
+    p.numGroups = 2;
+    p.railsPerGroup = 4;
+    p.numSpines = 0;
+    p.numSwitches = 8;
+    EXPECT_NE(p.validationError().find("needs spine switches"),
+              std::string::npos);
+}
+
+TEST(MultiTierTopology, RejectsNodeMaskOverflow)
+{
+    FabricParams p = FabricParams::preset("nvl72").withGpus(120);
+    // 120 GPUs -> 15 groups x 4 rails + 6 spines = 66 switches;
+    // 186 nodes overflow the 128-bit participant masks.
+    EXPECT_NE(p.validationError().find("session masks"),
+              std::string::npos);
+}
+
+TEST(MultiTierTopology, RunConfigRejectsUnknownPreset)
+{
+    RunConfig c;
+    c.topology = "no-such-fabric";
+    EXPECT_NE(c.validationError().find("unknown topology preset"),
+              std::string::npos);
+}
+
+TEST(MultiTierTopology, RunConfigAcceptsEveryPresetAtItsOwnScale)
+{
+    for (const std::string &name : FabricParams::presetNames()) {
+        SCOPED_TRACE(name);
+        RunConfig c;
+        c.topology = name;
+        c.numGpus = FabricParams::preset(name).numGpus;
+        EXPECT_EQ(c.validationError(), "");
+    }
+}

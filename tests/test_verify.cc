@@ -356,8 +356,12 @@ TEST(Verify, RunConfigValidationRejectsBadBounds)
     c.numGpus = 1;
     EXPECT_NE(c.validationError().find("numGpus"), std::string::npos);
     c = ok;
-    c.numGpus = 65;
-    EXPECT_NE(c.validationError().find("64-bit mask"),
+    c.numGpus = 121;
+    EXPECT_NE(c.validationError().find("participant masks"),
+              std::string::npos);
+    c = ok;
+    c.topology = "no-such-fabric";
+    EXPECT_NE(c.validationError().find("unknown topology preset"),
               std::string::npos);
     c = ok;
     c.numSwitches = 0;

@@ -11,8 +11,9 @@
  *   cais_verify --json [json_out=f]    cais-verify-v1 JSON document
  *   cais_verify --list-rules           print the rule table
  *
- * Machine knobs mirror the benches: gpus= switches= chunk= sms=
- * dim= tok= seed=. Exit code: 0 clean, 1 diagnostics found, 2 usage.
+ * Machine knobs mirror the benches: topology= gpus= switches= chunk=
+ * sms= dim= tok= seed=. Exit code: 0 clean, 1 diagnostics found,
+ * 2 usage.
  */
 
 #include <cctype>
@@ -71,6 +72,8 @@ usage()
         "(default: all)\n"
         "  suppress=V1,V3  skip rules\n"
         "  json_out=PATH   write the JSON document to PATH\n"
+        "  topology=NAME   fabric preset (dgx-h100, nvl72, "
+        "rail-optimized-2node/-4node)\n"
         "  gpus= switches= chunk= sms= dim= tok= seed=   machine "
         "knobs (bench defaults)\n");
     return 2;
@@ -109,6 +112,12 @@ main(int argc, char **argv)
     }
 
     RunConfig cfg;
+    cfg.topology = params.getString("topology", "");
+    // With a preset, default the GPU count to the preset's own
+    // (nvl72 -> 72); gpus= still overrides for withGpus scaling.
+    if (const FabricParams *p =
+            FabricParams::findPreset(cfg.topology))
+        cfg.numGpus = p->numGpus;
     cfg.numGpus = static_cast<int>(params.getInt("gpus", cfg.numGpus));
     cfg.numSwitches =
         static_cast<int>(params.getInt("switches", cfg.numSwitches));
