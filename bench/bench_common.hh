@@ -98,6 +98,9 @@ struct BenchArgs
             "trace_sample",
             static_cast<std::int64_t>(cfg.traceSampleCycles)));
         cfg.verify = params.getBool("verify", true);
+        // shards=<n> selects the sharded event core (DESIGN.md §6f);
+        // the default 0 defers to CAIS_SHARDS, then sequential.
+        cfg.shards = static_cast<int>(params.getInt("shards", 0));
         return cfg;
     }
 

@@ -1,6 +1,8 @@
 #include "analysis/trace.hh"
 
+#include <algorithm>
 #include <cstdio>
+#include <tuple>
 
 #include "common/json.hh"
 
@@ -21,6 +23,7 @@ TraceCollector::addSpan(const std::string &name,
     e.ts = start;
     e.dur = end > start ? end - start : 0;
     e.value = 0.0;
+    std::lock_guard<std::mutex> lk(mu);
     events.push_back(std::move(e));
 }
 
@@ -38,6 +41,7 @@ TraceCollector::addInstant(const std::string &name,
     e.ts = at;
     e.dur = 0;
     e.value = 0.0;
+    std::lock_guard<std::mutex> lk(mu);
     events.push_back(std::move(e));
 }
 
@@ -54,6 +58,7 @@ TraceCollector::addCounter(const std::string &name, int pid, Cycle at,
     e.ts = at;
     e.dur = 0;
     e.value = value;
+    std::lock_guard<std::mutex> lk(mu);
     events.push_back(std::move(e));
 }
 
@@ -69,6 +74,7 @@ TraceCollector::nameLane(int pid, int tid, const std::string &name)
     e.dur = 0;
     e.value = 0.0;
     e.metaValue = name;
+    std::lock_guard<std::mutex> lk(mu);
     events.push_back(std::move(e));
 }
 
@@ -84,18 +90,37 @@ TraceCollector::nameProcess(int pid, const std::string &name)
     e.dur = 0;
     e.value = 0.0;
     e.metaValue = name;
+    std::lock_guard<std::mutex> lk(mu);
     events.push_back(std::move(e));
 }
 
 std::string
 TraceCollector::toJson() const
 {
+    // Canonical order: under sharded execution switch-side hooks
+    // record from worker threads, so insertion order is
+    // schedule-dependent; sorting on the full event value makes the
+    // rendered trace a function of the simulated behaviour alone.
+    std::vector<Event> sorted;
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        sorted = events;
+    }
+    auto key = [](const Event &e) {
+        return std::tie(e.ts, e.pid, e.tid, e.phase, e.category,
+                        e.name, e.dur, e.value, e.metaValue);
+    };
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [&key](const Event &a, const Event &b) {
+        return key(a) < key(b);
+    });
+
     // Trace-event time is microseconds; simulation cycles are ns.
     JsonWriter w;
     w.beginObject();
     w.field("displayTimeUnit", "ns");
     w.key("traceEvents").beginArray();
-    for (const Event &e : events) {
+    for (const Event &e : sorted) {
         w.beginObject();
         w.field("ph", std::string(1, e.phase));
         w.field("pid", e.pid).field("tid", e.tid);

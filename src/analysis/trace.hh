@@ -11,6 +11,7 @@
 #define CAIS_ANALYSIS_TRACE_HH
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -19,7 +20,14 @@
 namespace cais
 {
 
-/** Collects trace events and renders Chrome trace-event JSON. */
+/**
+ * Collects trace events and renders Chrome trace-event JSON.
+ *
+ * Recording is thread-safe: under sharded execution (DESIGN.md §6f)
+ * switch-side hooks fire from worker threads. Rendering sorts
+ * events into a canonical (ts, pid, tid, ...) order, so a sharded
+ * trace is byte-identical to the sequential run's.
+ */
 class TraceCollector
 {
   public:
@@ -46,7 +54,11 @@ class TraceCollector
     /** Label a pid (process_name metadata). */
     void nameProcess(int pid, const std::string &name);
 
-    std::size_t numEvents() const { return events.size(); }
+    std::size_t numEvents() const
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        return events.size();
+    }
 
     /** Render the whole trace as Chrome trace-event JSON. */
     std::string toJson() const;
@@ -68,6 +80,7 @@ class TraceCollector
         std::string metaValue; // M only
     };
 
+    mutable std::mutex mu;
     std::vector<Event> events;
 };
 

@@ -1,0 +1,278 @@
+#include "common/sharded_event_queue.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace cais
+{
+
+namespace
+{
+constexpr Cycle noCycle = ~0ull;
+} // namespace
+
+ShardedEventQueue::ShardedEventQueue(EventQueue &primary, int shards,
+                                     Cycle lookahead)
+    : la(lookahead)
+{
+    if (shards < 2)
+        panic("ShardedEventQueue needs >= 2 shards (got %d); use the "
+              "plain EventQueue for sequential runs",
+              shards);
+    if (la == 0)
+        panic("ShardedEventQueue needs a non-zero lookahead");
+
+    queues.push_back(&primary);
+    for (int s = 1; s < shards; ++s) {
+        // Same scheduler kind as the primary so CAIS_EVENTQ applies
+        // uniformly.
+        owned.push_back(std::make_unique<EventQueue>(primary.kind()));
+        queues.push_back(owned.back().get());
+    }
+    for (int s = 0; s < shards; ++s) {
+        ctxs.push_back(std::make_unique<ShardCtx>());
+        ctxs.back()->q = queues[static_cast<std::size_t>(s)];
+        queues[static_cast<std::size_t>(s)]->bindShardGroup(&group);
+    }
+    workers.reserve(static_cast<std::size_t>(shards - 1));
+    for (int s = 1; s < shards; ++s)
+        workers.emplace_back([this, s] { workerMain(s); });
+}
+
+ShardedEventQueue::~ShardedEventQueue()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        stopping = true;
+    }
+    cvStart.notify_all();
+    for (std::thread &t : workers)
+        t.join();
+}
+
+Cycle
+ShardedEventQueue::minNextWhen() const
+{
+    Cycle m = noCycle;
+    for (const EventQueue *q : queues) {
+        if (q->empty())
+            continue;
+        // nextWhen is private; empty()/size() plus the drain loop
+        // below only need the bucket/heap fronts, which peekNextWhen
+        // exposes.
+        Cycle w = q->peekNextWhen();
+        if (w < m)
+            m = w;
+    }
+    return m;
+}
+
+void
+ShardedEventQueue::drainWindow(int s)
+{
+    ShardCtx &c = *ctxs[static_cast<std::size_t>(s)];
+    EventQueue &q = *queues[static_cast<std::size_t>(s)];
+    EventQueue::setThreadShardCtx(&c);
+    while (!q.empty() && q.peekNextWhen() < c.windowEnd)
+        q.runOne();
+    EventQueue::setThreadShardCtx(nullptr);
+}
+
+void
+ShardedEventQueue::workerMain(int s)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lk(mu);
+            cvStart.wait(lk, [&] {
+                return stopping || windowGen != seen;
+            });
+            if (stopping)
+                return;
+            seen = windowGen;
+        }
+        drainWindow(s);
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            if (--pendingWorkers == 0)
+                cvDone.notify_one();
+        }
+    }
+}
+
+bool
+ShardedEventQueue::execLess(int sa, std::uint32_t ea, int sb,
+                            std::uint32_t eb) const
+{
+    if (sa == sb && ea == eb)
+        return false;
+    const ShardExecRec &ra =
+        ctxs[static_cast<std::size_t>(sa)]->execLog[ea];
+    const ShardExecRec &rb =
+        ctxs[static_cast<std::size_t>(sb)]->execLog[eb];
+    if (ra.when != rb.when)
+        return ra.when < rb.when;
+    bool in_a = (ra.seq & EventQueue::inWindowSeqBit) != 0;
+    bool in_b = (rb.seq & EventQueue::inWindowSeqBit) != 0;
+    // At equal cycles class-0 ran first sequentially: its schedule
+    // call happened in an earlier window, i.e. at a smaller seq.
+    if (in_a != in_b)
+        return !in_a;
+    if (!in_a)
+        return ra.seq < rb.seq; // global vseqs order directly
+    if (sa == sb)
+        return ea < eb; // one shard's window order is sequential order
+    // Class-1 events on different shards: ordered by the sequential
+    // order of the schedule calls that created them. Recursion
+    // terminates — each step moves to a strictly earlier exec-log
+    // entry and bottoms out at class-0 parents or differing cycles.
+    return callLess(sa, ra.srcExec, ra.srcCall, sb, rb.srcExec,
+                    rb.srcCall);
+}
+
+bool
+ShardedEventQueue::callLess(int sa, std::uint32_t ea, std::uint32_t ca,
+                            int sb, std::uint32_t eb,
+                            std::uint32_t cb) const
+{
+    if (sa == sb && ea == eb)
+        return ca < cb; // same event: program order of its calls
+    // Events are atomic: all calls of the earlier event precede all
+    // calls of the later one.
+    return execLess(sa, ea, sb, eb);
+}
+
+void
+ShardedEventQueue::mergeOutboxes()
+{
+    mergeOrder.clear();
+    for (std::size_t s = 0; s < ctxs.size(); ++s)
+        for (std::size_t i = 0; i < ctxs[s]->outbox.size(); ++i)
+            mergeOrder.push_back(OutRef{static_cast<int>(s),
+                                        static_cast<std::uint32_t>(i)});
+
+    std::sort(mergeOrder.begin(), mergeOrder.end(),
+              [this](const OutRef &a, const OutRef &b) {
+        const ShardOutRec &ra =
+            ctxs[static_cast<std::size_t>(a.shard)]->outbox[a.rec];
+        const ShardOutRec &rb =
+            ctxs[static_cast<std::size_t>(b.shard)]->outbox[b.rec];
+        return callLess(a.shard, ra.srcExec, ra.srcCall, b.shard,
+                        rb.srcExec, rb.srcCall);
+    });
+
+    // Globally sorted order implies ascending vseq per destination,
+    // which scheduleExternal requires.
+    for (const OutRef &ref : mergeOrder) {
+        ShardOutRec &r =
+            ctxs[static_cast<std::size_t>(ref.shard)]->outbox[ref.rec];
+        r.dst->scheduleExternal(r.when, group.nextVseq++,
+                                std::move(r.cb));
+    }
+
+    for (auto &c : ctxs) {
+        c->outbox.clear();
+        c->execLog.clear();
+    }
+}
+
+std::uint64_t
+ShardedEventQueue::runAll(std::uint64_t max_events)
+{
+    std::uint64_t base = executed();
+    for (;;) {
+        Cycle m = minNextWhen();
+        if (m == noCycle)
+            break;
+        if (executed() - base >= max_events) {
+            warn("event budget (%llu) exhausted with %zu events "
+                 "pending",
+                 static_cast<unsigned long long>(max_events), size());
+            break;
+        }
+
+        // Same lazy catch-up as the sequential scheduler: every
+        // sample point at or below the next event's cycle fires now,
+        // observing the state after all strictly-earlier events.
+        while (nextObsAt <= m) {
+            observer(nextObsAt);
+            nextObsAt += obsPeriod;
+        }
+
+        Cycle wend = m + la;
+        if (wend < m)
+            wend = noCycle; // overflow clamp
+        // No event at or past a sample point may run before the
+        // observer fires for it.
+        if (nextObsAt < wend)
+            wend = nextObsAt;
+
+        for (auto &c : ctxs) {
+            c->windowEnd = wend;
+            c->safeHorizon = m;
+        }
+
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            pendingWorkers = static_cast<int>(workers.size());
+            ++windowGen;
+        }
+        cvStart.notify_all();
+
+        drainWindow(0);
+
+        {
+            std::unique_lock<std::mutex> lk(mu);
+            cvDone.wait(lk, [&] { return pendingWorkers == 0; });
+        }
+
+        mergeOutboxes();
+    }
+    return executed() - base;
+}
+
+std::uint64_t
+ShardedEventQueue::executed() const
+{
+    std::uint64_t n = 0;
+    for (const EventQueue *q : queues)
+        n += q->executed();
+    return n;
+}
+
+std::size_t
+ShardedEventQueue::size() const
+{
+    std::size_t n = 0;
+    for (const EventQueue *q : queues)
+        n += q->size();
+    return n;
+}
+
+Cycle
+ShardedEventQueue::now() const
+{
+    Cycle t = 0;
+    for (const EventQueue *q : queues)
+        t = std::max(t, q->now());
+    return t;
+}
+
+void
+ShardedEventQueue::setPeriodicObserver(Cycle period,
+                                       std::function<void(Cycle)> fn)
+{
+    if (period == 0 || !fn) {
+        obsPeriod = 0;
+        nextObsAt = obsDisabled;
+        observer = nullptr;
+        return;
+    }
+    obsPeriod = period;
+    observer = std::move(fn);
+    nextObsAt = (now() / period + 1) * period;
+}
+
+} // namespace cais

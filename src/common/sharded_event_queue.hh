@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Conservative parallel-discrete-event execution over N EventQueue
+ * shards (DESIGN.md §6f).
+ *
+ * The fabric is partitioned into event domains whose only
+ * cross-domain coupling is CreditLink traffic with latency >= L (the
+ * *lookahead*). The window loop exploits that bound without null
+ * messages:
+ *
+ *   1. barrier: M = min over shards of the earliest pending cycle;
+ *   2. every shard drains its events in [M, min(M + L, next observer
+ *      sample)) concurrently — nothing a shard does in the window can
+ *      affect another shard inside it, because any cross-domain
+ *      effect is at least L cycles out;
+ *   3. barrier: schedule calls that crossed shards (or outran the
+ *      window) were parked in per-shard mailboxes; they are now
+ *      sorted into the sequential scheduler's call order, assigned
+ *      global sequence numbers, and delivered.
+ *
+ * The sort reconstructs sequential call order exactly (see the
+ * class-0/class-1 seq encoding in event_queue.hh), so a sharded run
+ * pops every queue in the same (when, seq) order the sequential
+ * scheduler would — results are bit-identical, which
+ * tests/test_sharded_determinism.cc locks across every strategy and
+ * topology preset.
+ */
+
+#ifndef CAIS_COMMON_SHARDED_EVENT_QUEUE_HH
+#define CAIS_COMMON_SHARDED_EVENT_QUEUE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/event_queue.hh"
+
+namespace cais
+{
+
+/** Barrier-synchronized window executor over N event-queue shards. */
+class ShardedEventQueue
+{
+  public:
+    /**
+     * Wrap @p primary as shard 0 (the host/GPU domain, drained by the
+     * calling thread) and create @p shards - 1 further queues, each
+     * drained by a dedicated worker. @p lookahead is the minimum
+     * latency of any link whose endpoints live on different shards;
+     * it must be non-zero (RunConfig::validationError enforces this).
+     */
+    ShardedEventQueue(EventQueue &primary, int shards, Cycle lookahead);
+    ~ShardedEventQueue();
+
+    ShardedEventQueue(const ShardedEventQueue &) = delete;
+    ShardedEventQueue &operator=(const ShardedEventQueue &) = delete;
+
+    int numShards() const { return static_cast<int>(queues.size()); }
+    Cycle lookahead() const { return la; }
+
+    /** Shard @p i's queue; components bind to their domain's shard. */
+    EventQueue &shard(int i)
+    {
+        return *queues[static_cast<std::size_t>(i)];
+    }
+
+    /**
+     * Run the window loop until every shard drains (or the event
+     * budget is exhausted, checked at barriers). Must be called from
+     * the thread that owns shard 0. @return events executed.
+     */
+    std::uint64_t runAll(std::uint64_t max_events = ~0ull);
+
+    /** Events executed over all shards (1:1 with sequential). */
+    std::uint64_t executed() const;
+
+    /** Pending events over all shards. */
+    std::size_t size() const;
+
+    /** Time of the latest executed event over all shards — exactly
+     *  the sequential queue's now() after the same events. */
+    Cycle now() const;
+
+    /**
+     * Periodic observer with EventQueue::setPeriodicObserver
+     * semantics: fired at window barriers (all shards quiesced) for
+     * every sample point at or below the next window's start, before
+     * any event at or past the sample point executes — the same
+     * points, in the same state, as the sequential scheduler fires.
+     */
+    void setPeriodicObserver(Cycle period,
+                             std::function<void(Cycle)> fn);
+
+  private:
+    void drainWindow(int s);
+    void workerMain(int s);
+
+    /** Earliest pending cycle over all shards, or ~0ull when empty. */
+    Cycle minNextWhen() const;
+
+    /** Sequential execution order of two logged events. */
+    bool execLess(int sa, std::uint32_t ea, int sb,
+                  std::uint32_t eb) const;
+
+    /** Sequential order of two schedule calls (exec log positions
+     *  plus per-event call indices). */
+    bool callLess(int sa, std::uint32_t ea, std::uint32_t ca, int sb,
+                  std::uint32_t eb, std::uint32_t cb) const;
+
+    /** Sort this window's mailboxes into sequential call order,
+     *  assign vseqs, and deliver into the destination queues. */
+    void mergeOutboxes();
+
+    Cycle la;
+    ShardGroup group;
+
+    std::vector<EventQueue *> queues; ///< [0] is the primary
+    std::vector<std::unique_ptr<EventQueue>> owned;
+    std::vector<std::unique_ptr<ShardCtx>> ctxs;
+
+    /** (shard, mailbox index) pairs, reused across windows. */
+    struct OutRef
+    {
+        int shard;
+        std::uint32_t rec;
+    };
+    std::vector<OutRef> mergeOrder;
+
+    // Worker pool: one thread per shard 1..N-1, parked on a
+    // generation-counted condition variable between windows (a spin
+    // barrier would be pathological when shards oversubscribe cores).
+    std::vector<std::thread> workers;
+    std::mutex mu;
+    std::condition_variable cvStart;
+    std::condition_variable cvDone;
+    std::uint64_t windowGen = 0;
+    int pendingWorkers = 0;
+    bool stopping = false;
+
+    // Periodic observer (mirrors EventQueue's, fired at barriers).
+    static constexpr Cycle obsDisabled = ~0ull;
+    Cycle obsPeriod = 0;
+    Cycle nextObsAt = obsDisabled;
+    std::function<void(Cycle)> observer;
+};
+
+} // namespace cais
+
+#endif // CAIS_COMMON_SHARDED_EVENT_QUEUE_HH

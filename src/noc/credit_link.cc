@@ -8,7 +8,7 @@ namespace cais
 CreditLink::CreditLink(EventQueue &eq_, std::string name,
                        double bytes_per_cycle, Cycle latency, int num_vcs,
                        int vc_credits, Cycle util_bin_width)
-    : eq(eq_), linkName(std::move(name)), bw(bytes_per_cycle),
+    : eq(eq_), sinkEq(&eq_), linkName(std::move(name)), bw(bytes_per_cycle),
       serDiv(bytes_per_cycle), lat(latency),
       queues(static_cast<std::size_t>(num_vcs)),
       creditCount(static_cast<std::size_t>(num_vcs), vc_credits),
@@ -43,6 +43,33 @@ CreditLink::returnCredit(int vc)
     // but no serialization (credits ride dedicated wires). Credits for
     // the same VC freed in the same cycle share one arrival event.
     auto &pend = pendingCredits[static_cast<std::size_t>(vc)];
+    if (splitShards()) {
+        // The sink frees slots from its own shard; its clock is the
+        // authoritative one here. The batch cell stays sink-owned —
+        // the sender-side arrival event only reads it (the sink wrote
+        // it at least one window earlier; the barrier orders the
+        // accesses) — and dead cells are trimmed against the safe
+        // horizon instead of popped by the arrival. Event count and
+        // coalescing match the sequential path 1:1.
+        ShardCtx *ctx = EventQueue::threadShardCtx();
+        Cycle horizon = ctx ? ctx->safeHorizon : sinkEq->now();
+        while (!pend.empty() && pend.front().first < horizon)
+            pend.pop_front();
+        Cycle at = sinkEq->now() + lat;
+        if (!pend.empty() && pend.back().first == at) {
+            ++pend.back().second;
+            return;
+        }
+        pend.emplace_back(at, 1);
+        // Deque references are stable under push_back/pop_front, so
+        // the captured cell pointer stays valid until trimmed.
+        const std::pair<Cycle, int> *cell = &pend.back();
+        eq.schedule(at, [this, vc, cell] {
+            creditCount[static_cast<std::size_t>(vc)] += cell->second;
+            tryIssue();
+        });
+        return;
+    }
     Cycle at = eq.now() + lat;
     if (!pend.empty() && pend.back().first == at) {
         ++pend.back().second;
@@ -113,9 +140,12 @@ CreditLink::tryIssue()
     // into the deliver event (no allocation: InlineEvent holds it).
     Cycle deliver_at = start + ser + lat;
 
-    if (deliver_at == busyUntil && !wakeScheduled) {
+    if (deliver_at == busyUntil && !wakeScheduled && !splitShards()) {
         // Zero-latency link: the drain wake would land on the same
         // cycle directly after the delivery; fold it into one event.
+        // (Split links always have lat >= lookahead >= 1, so the fold
+        // — which mixes sender and sink state in one event — can only
+        // apply when both ends share a queue.)
         wakeScheduled = true;
         eq.schedule(deliver_at, [this, p = std::move(pkt), vc]() mutable {
             sink->acceptPacket(std::move(p), this, vc);
@@ -125,7 +155,8 @@ CreditLink::tryIssue()
         return;
     }
 
-    eq.schedule(deliver_at, [this, p = std::move(pkt), vc]() mutable {
+    // Delivery executes on the sink's shard (== eq when co-located).
+    sinkEq->schedule(deliver_at, [this, p = std::move(pkt), vc]() mutable {
         sink->acceptPacket(std::move(p), this, vc);
     });
 

@@ -67,6 +67,21 @@ class CreditLink : public Probe
     /** Tag registered by the sink, or -1 when none was set. */
     int sinkTag() const { return tag_; }
 
+    /**
+     * Under sharded execution (DESIGN.md §6f), bind the queue of the
+     * shard the *sink* lives on. The link then runs split: sender
+     * state (VC queues, serializer, credits, counters) stays on the
+     * constructor queue, deliveries are scheduled onto the sink's
+     * queue, and credit returns — which the sink issues from its own
+     * shard — ride the barrier mailboxes back. Defaults to the
+     * constructor queue (sequential, both ends co-located), which
+     * keeps the historical single-queue behaviour bit-for-bit.
+     */
+    void setSinkQueue(EventQueue &q) { sinkEq = &q; }
+
+    /** True when sender and sink live on different shards. */
+    bool splitShards() const { return sinkEq != &eq; }
+
     /** Notified with the VC index whenever a packet starts the wire. */
     void setDequeueCallback(std::function<void(int)> cb);
 
@@ -106,6 +121,7 @@ class CreditLink : public Probe
     void tryIssue();
 
     EventQueue &eq;
+    EventQueue *sinkEq; ///< == &eq unless split across shards
     std::string linkName;
     double bw;
     SerDivider serDiv;

@@ -24,14 +24,52 @@
 namespace cais
 {
 
+class ShardedEventQueue;
+
 /** A fully wired multi-GPU fabric. */
 class Fabric
 {
   public:
-    Fabric(EventQueue &eq, const FabricParams &params);
+    /**
+     * @p shq selects sharded execution (DESIGN.md §6f): every switch
+     * is placed on its domain's shard — its chip and compute complex
+     * run on that shard's queue — and each link is built on its
+     * sender's queue with the sink's queue bound for split delivery.
+     * Null (the default) keeps everything on @p eq, bit-identical to
+     * the historical single-queue build.
+     */
+    Fabric(EventQueue &eq, const FabricParams &params,
+           ShardedEventQueue *shq = nullptr);
 
     Fabric(const Fabric &) = delete;
     Fabric &operator=(const Fabric &) = delete;
+
+    /**
+     * Number of conservative-PDES domains this shape partitions
+     * into: the host+GPU domain plus one per leaf group and one for
+     * the whole spine tier (multi-tier), or one per switch (flat).
+     * More shards than domains cannot help.
+     */
+    static int numDomains(const FabricParams &params);
+
+    /**
+     * Shard (in [1, shards)) hosting switch @p s when the fabric is
+     * split over @p shards >= 2 shards: domains round-robin over the
+     * non-primary shards. Shard 0 always hosts the GPUs and the host.
+     */
+    static int switchShard(const FabricParams &params, SwitchId s,
+                           int shards);
+
+    /**
+     * Conservative lookahead for @p shards shards: the minimum
+     * latency over every link that crosses shards. GPU<->switch
+     * links always cross, so this is at most linkLatency; tier links
+     * only count when some leaf lands off the spine shard. Zero
+     * means the shape cannot be sharded — there is no latency to
+     * hide a window behind.
+     */
+    static Cycle crossShardLookahead(const FabricParams &params,
+                                     int shards);
 
     /** Attach the GPU's packet sink to all its downlinks. */
     void attachGpu(GpuId g, PacketSink *sink);
@@ -138,6 +176,9 @@ class Fabric
   private:
     void buildFlat();
     void buildTiered();
+
+    /** Queue switch @p s schedules on: its shard's, or eq unsharded. */
+    EventQueue &switchQueue(SwitchId s);
     int spinePort(const Packet &pkt) const;
     int railFor(const Packet &pkt) const;
 
@@ -146,6 +187,7 @@ class Fabric
     std::vector<const CreditLink *> allLinks(int dir) const; // 0 up,1 dn,2 both
 
     EventQueue &eq;
+    ShardedEventQueue *shq; ///< null when running single-queue
     FabricParams p;
     DeterministicRouting route;
     PacketIdAllocator pktIds;

@@ -1,6 +1,7 @@
 #include "runtime/simulation_driver.hh"
 
 #include <cmath>
+#include <cstdlib>
 
 #include "analysis/deep_trace.hh"
 #include "analysis/report.hh"
@@ -22,6 +23,21 @@ isPowerOfTwo(std::uint64_t v)
 }
 
 } // namespace
+
+int
+RunConfig::effectiveShards() const
+{
+    if (shards != 0)
+        return shards;
+    const char *env = std::getenv("CAIS_SHARDS");
+    if (!env || !*env)
+        return 1;
+    char *end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || v < 1)
+        return 1;
+    return static_cast<int>(v);
+}
 
 std::string
 RunConfig::validationError() const
@@ -69,11 +85,29 @@ RunConfig::validationError() const
         return strfmt("gpu.maxCaisLoadOutstanding must be >= 1 "
                       "(got %d)",
                       gpu.maxCaisLoadOutstanding);
+    if (shards < 0)
+        return strfmt("shards must be >= 0 (0 resolves CAIS_SHARDS; "
+                      "got %d)",
+                      shards);
     // Fabric-level bounds (VC count, credits, buffer depths) on the
     // derived SystemConfig, so zero-VC / zero-credit setups are
     // rejected here with the same message the Fabric would fatal
     // with instead of constructing a nonsense System.
-    return toSystemConfig(StrategySpec{}).fabric.validationError();
+    SystemConfig sc = toSystemConfig(StrategySpec{});
+    std::string fab_err = sc.fabric.validationError();
+    if (!fab_err.empty())
+        return fab_err;
+    // Sharded execution needs lookahead: some latency on every link
+    // that crosses shards (checked on the clamped shard count — the
+    // count the System would actually run).
+    int eff = std::min(effectiveShards(),
+                       Fabric::numDomains(sc.fabric));
+    if (eff > 1 && Fabric::crossShardLookahead(sc.fabric, eff) == 0)
+        return strfmt("shards=%d requires a non-zero cross-shard "
+                      "link latency (conservative lookahead); "
+                      "linkLatency is 0",
+                      effectiveShards());
+    return "";
 }
 
 void
@@ -118,6 +152,7 @@ RunConfig::toSystemConfig(const StrategySpec &spec) const
     sc.inswitch.merge.throttleEnabled = spec.opts.caisCoordination;
 
     sc.maxEvents = maxEvents;
+    sc.shards = effectiveShards();
     return sc;
 }
 
@@ -143,7 +178,7 @@ runGraph(const StrategySpec &spec, const OpGraph &graph,
     if (tracing) {
         sys.setTraceHooks(&probe);
         if (cfg.traceSampleCycles > 0)
-            sys.eq().setPeriodicObserver(
+            sys.setPeriodicObserver(
                 cfg.traceSampleCycles,
                 [&probe](Cycle at) { probe.sample(at); });
     }

@@ -68,6 +68,20 @@ struct RunConfig
     Cycle utilBinWidth = 2000;
     std::uint64_t maxEvents = 400ull * 1000 * 1000;
 
+    /**
+     * Event-core shards (DESIGN.md §6f). 0 (the default) resolves
+     * from the CAIS_SHARDS environment variable (absent or invalid
+     * means 1); 1 is the historical sequential scheduler; >= 2
+     * splits the fabric over worker threads under conservative-PDES
+     * windows, bit-identical to sequential. Clamped to the shape's
+     * domain count at System construction.
+     */
+    int shards = 0;
+
+    /** The shard count this config actually requests: shards, or
+     *  the CAIS_SHARDS environment value when shards == 0. */
+    int effectiveShards() const;
+
     /** When non-empty, a Chrome trace (Perfetto-loadable) of kernel
      *  spans, switch-side merge/sync lanes and counter tracks is
      *  written here (see analysis/deep_trace.hh for the lane map). */

@@ -92,7 +92,17 @@ System::System(const SystemConfig &cfg_)
     cfg.fabric.validate();
     cfg.gpu.validate();
 
-    fab = std::make_unique<Fabric>(queue, cfg.fabric);
+    int shards = std::max(cfg.shards, 1);
+    shards = std::min(shards, Fabric::numDomains(cfg.fabric));
+    if (shards > 1) {
+        Cycle la = Fabric::crossShardLookahead(cfg.fabric, shards);
+        if (la == 0)
+            panic("shards=%d needs a non-zero cross-shard link "
+                  "latency for conservative lookahead",
+                  shards);
+        shq = std::make_unique<ShardedEventQueue>(queue, shards, la);
+    }
+    fab = std::make_unique<Fabric>(queue, cfg.fabric, shq.get());
     const FabricParams &fp = cfg.fabric;
     for (SwitchId s = 0; s < fp.numSwitches; ++s) {
         InSwitchParams isp = cfg.inswitch;
@@ -289,7 +299,10 @@ System::run()
         if (ks->remainingDeps == 0)
             tryLaunch(*ks);
 
-    queue.runAll(cfg.maxEvents);
+    if (shq)
+        shq->runAll(cfg.maxEvents);
+    else
+        queue.runAll(cfg.maxEvents);
 
     if (unfinishedKernels != 0)
         reportDeadlock();
@@ -481,7 +494,7 @@ void
 System::reportDeadlock() const
 {
     std::fprintf(stderr, "=== system stalled at %llu cycles ===\n",
-                 static_cast<unsigned long long>(queue.now()));
+                 static_cast<unsigned long long>(now()));
     for (const auto &ks : kernels) {
         if (ks->finished)
             continue;
@@ -593,8 +606,9 @@ System::kernelGpuSpan(KernelId k, GpuId g) const
 void
 System::registerMetrics(MetricRegistry &reg) const
 {
-    reg.addGaugeU64("eventq.executed",
-                    [this] { return queue.executed(); });
+    reg.addGaugeU64("eventq.executed", [this] {
+        return shq ? shq->executed() : queue.executed();
+    });
     const FabricParams &fp = cfg.fabric;
     for (std::size_t s = 0; s < complexes.size(); ++s) {
         // Tier-prefixed switch paths on multi-tier fabrics; flat
@@ -646,10 +660,19 @@ System::peakMergeTableBytes() const
     return peak;
 }
 
+void
+System::setPeriodicObserver(Cycle period, std::function<void(Cycle)> fn)
+{
+    if (shq)
+        shq->setPeriodicObserver(period, std::move(fn));
+    else
+        queue.setPeriodicObserver(period, std::move(fn));
+}
+
 double
 System::gpuUtilization() const
 {
-    Cycle t = queue.now();
+    Cycle t = now();
     if (t == 0)
         return 0.0;
     double sum = 0.0;

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/event_queue.hh"
+#include "common/sharded_event_queue.hh"
 #include "dataflow/tile_dependency.hh"
 #include "gpu/gpu_core.hh"
 #include "switchcompute/switch_compute.hh"
@@ -81,6 +82,15 @@ struct SystemConfig
 
     /** Event-budget safety valve for run(). */
     std::uint64_t maxEvents = 400ull * 1000 * 1000;
+
+    /**
+     * Event-core shards (DESIGN.md §6f). 1 (the default) runs the
+     * historical sequential scheduler; >= 2 splits the fabric's
+     * switch domains over worker threads under conservative-PDES
+     * windows, bit-identical to sequential. Values above the shape's
+     * domain count are clamped — extra shards would idle.
+     */
+    int shards = 1;
 };
 
 /** The full machine plus execution engine. */
@@ -151,7 +161,18 @@ class System : public DataArrivalHandler
     /** Run every registered kernel to completion. */
     void run();
 
-    Cycle now() const { return queue.now(); }
+    Cycle now() const { return shq ? shq->now() : queue.now(); }
+
+    /** Shards actually running after clamping (1 = sequential). */
+    int activeShards() const { return shq ? shq->numShards() : 1; }
+
+    /**
+     * Sampling hook for instrumented runs, routed to whichever core
+     * is driving events (the sharded core fires observers at window
+     * barriers, where all shards have quiesced — identical sample
+     * points and state to the sequential scheduler's lazy catch-up).
+     */
+    void setPeriodicObserver(Cycle period, std::function<void(Cycle)> fn);
     Cycle makespan() const { return finishedAt; }
     Cycle kernelStartTime(KernelId k) const;
     Cycle kernelFinishTime(KernelId k) const;
@@ -209,6 +230,10 @@ class System : public DataArrivalHandler
 
     SystemConfig cfg;
     EventQueue queue;
+    // Declared after queue and before fab: destruction joins the
+    // workers while the shard queues (and nothing referencing them)
+    // are still alive.
+    std::unique_ptr<ShardedEventQueue> shq;
     std::unique_ptr<Fabric> fab;
     std::vector<std::unique_ptr<SwitchComputeComplex>> complexes;
     std::vector<std::unique_ptr<GpuCore>> gpus;

@@ -1,6 +1,6 @@
 /**
  * @file
- * cais-lint rule tests: each determinism rule D1..D7 gets at least
+ * cais-lint rule tests: each determinism rule D1..D8 gets at least
  * one positive fixture (the hazard is reported) and one negative
  * fixture (the deterministic idiom passes), plus coverage of the
  * suppression-comment grammar and the baseline diff machinery.
@@ -387,6 +387,70 @@ TEST(LintD7, SuppressionCommentIsHonored)
 }
 
 // --------------------------------------------------------------------
+// D8: schedule on a queue fetched from a looked-up component
+// --------------------------------------------------------------------
+
+TEST(LintD8, ScheduleOnLookedUpComponentQueueIsFlagged)
+{
+    // The classic cross-shard hazard: grab another component through
+    // a lookup call, then schedule straight onto its queue.
+    auto fs = lintOne(
+        "src/runtime/x.cc",
+        "void f(cais::Fabric &fab, int s) {\n"
+        "    fab.switchAt(s).eq().schedule(100, [] {});\n"
+        "}\n");
+    ASSERT_EQ(countRule(fs, "D8"), 1);
+    EXPECT_EQ(fs[0].line, 2);
+}
+
+TEST(LintD8, ScheduleAfterThroughPointerChainIsFlagged)
+{
+    auto fs = lintOne(
+        "src/runtime/x.cc",
+        "void f(cais::Fabric *fab, int s) {\n"
+        "    fab->switchAt(s)->eventQueue().scheduleAfter(10, [] {});\n"
+        "}\n");
+    EXPECT_EQ(countRule(fs, "D8"), 1);
+}
+
+TEST(LintD8, OwnQueueSchedulingPasses)
+{
+    // A component scheduling on its own queue — including through the
+    // plain-ident getter idiom the switch-compute units use — is the
+    // supported pattern and must not need suppressions.
+    auto fs = lintOne(
+        "src/noc/x.cc",
+        "void f(cais::EventQueue &eq, cais::SwitchChip &sw) {\n"
+        "    eq.scheduleAfter(10, [] {});\n"
+        "    sw.eventQueue().scheduleAfter(5, [] {});\n"
+        "    sw.eq().schedule(7, [] {});\n"
+        "}\n");
+    EXPECT_EQ(countRule(fs, "D8"), 0);
+}
+
+TEST(LintD8, TestsAndBenchAreOutOfScope)
+{
+    std::string src =
+        "void f(cais::Fabric &fab) {\n"
+        "    fab.switchAt(0).eq().schedule(1, [] {});\n"
+        "}\n";
+    EXPECT_EQ(countRule(lintOne("tests/t.cc", src), "D8"), 0);
+    EXPECT_EQ(countRule(lintOne("bench/b.cc", src), "D8"), 0);
+}
+
+TEST(LintD8, SuppressionCommentIsHonored)
+{
+    auto fs = lintOne(
+        "src/runtime/x.cc",
+        "void f(cais::Fabric &fab) {\n"
+        "    // cais-lint: allow(D8) -- pre-run wiring, queues idle\n"
+        "    fab.switchAt(0).eq().schedule(1, [] {});\n"
+        "}\n");
+    EXPECT_EQ(countRule(fs, "D8"), 0);
+    EXPECT_EQ(countRule(fs, "X1"), 0);
+}
+
+// --------------------------------------------------------------------
 // Suppressions
 // --------------------------------------------------------------------
 
@@ -499,8 +563,8 @@ TEST(LintLexer, CommentsAndStringsAreInvisible)
 
 TEST(LintLexer, RuleTableCoversAllRules)
 {
-    std::vector<std::string> want = {"D1", "D2", "D3", "D4",
-                                     "D5", "D6", "D7", "X1"};
+    std::vector<std::string> want = {"D1", "D2", "D3", "D4", "D5",
+                                     "D6", "D7", "D8", "X1"};
     const auto &table = cais::lint::ruleTable();
     ASSERT_EQ(table.size(), want.size());
     for (std::size_t i = 0; i < want.size(); ++i)

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Bit-equality lock for the sharded conservative-PDES event core
+ * (DESIGN.md §6f): a run with shards >= 2 must reproduce the
+ * sequential scheduler's RunResult exactly — makespan, event count,
+ * utilizations, merge counters, per-kernel timings, utilization
+ * series — for every strategy on the flat shape and on every tiered
+ * preset, with and without the periodic trace observer, down to the
+ * bytes of the metrics report. Also locks the shards plumbing:
+ * CAIS_SHARDS resolution, domain-count clamping, and the rejection
+ * of zero-lookahead (zero-latency) fabrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "noc/network.hh"
+#include "noc/topology.hh"
+#include "runtime/execution_strategy.hh"
+#include "runtime/simulation_driver.hh"
+#include "runtime/system.hh"
+#include "workload/transformer.hh"
+
+using namespace cais;
+
+namespace
+{
+
+/** Pin CAIS_SHARDS while a test body runs. */
+class ScopedShardsEnv
+{
+  public:
+    explicit ScopedShardsEnv(const char *value)
+    {
+        setenv("CAIS_SHARDS", value, 1);
+    }
+    ~ScopedShardsEnv() { unsetenv("CAIS_SHARDS"); }
+};
+
+LlmConfig
+fastModel()
+{
+    return llama7B().scaled(0.25, 0.125);
+}
+
+/** Preset config shrunk to 16 GPUs (2 groups) so the full-strategy
+ *  sweep stays fast; flat/dgx shapes keep their preset size. */
+RunConfig
+presetConfig(const std::string &preset)
+{
+    RunConfig cfg;
+    if (!preset.empty()) {
+        cfg.topology = preset;
+        FabricParams p = FabricParams::preset(preset);
+        cfg.numGpus = p.multiTier() ? 16 : p.numGpus;
+    }
+    return cfg;
+}
+
+RunResult
+runWith(RunConfig cfg, const std::string &strategy, int shards)
+{
+    cfg.shards = shards;
+    return runGraph(strategyByName(strategy),
+                    buildSubLayer(fastModel(), SubLayerId::L1), cfg,
+                    "L1");
+}
+
+/** Field-by-field bit equality of two harvested results. */
+void
+expectIdentical(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.eventsExecuted, b.eventsExecuted);
+    EXPECT_EQ(a.avgUtil, b.avgUtil);
+    EXPECT_EQ(a.upUtil, b.upUtil);
+    EXPECT_EQ(a.dnUtil, b.dnUtil);
+    EXPECT_EQ(a.gpuUtil, b.gpuUtil);
+    EXPECT_EQ(a.wireBytes, b.wireBytes);
+    EXPECT_EQ(a.staggerUs, b.staggerUs);
+    EXPECT_EQ(a.staggerSamples, b.staggerSamples);
+    EXPECT_EQ(a.peakMergeBytes, b.peakMergeBytes);
+    EXPECT_EQ(a.mergeLoadReqs, b.mergeLoadReqs);
+    EXPECT_EQ(a.mergeRedReqs, b.mergeRedReqs);
+    EXPECT_EQ(a.mergeLoadHits, b.mergeLoadHits);
+    EXPECT_EQ(a.mergeRedHits, b.mergeRedHits);
+    EXPECT_EQ(a.mergeFetches, b.mergeFetches);
+    EXPECT_EQ(a.lruEvictions, b.lruEvictions);
+    EXPECT_EQ(a.timeoutEvictions, b.timeoutEvictions);
+    EXPECT_EQ(a.throttleHints, b.throttleHints);
+    EXPECT_EQ(a.sessionsClosed, b.sessionsClosed);
+    EXPECT_EQ(a.commKernelCycles, b.commKernelCycles);
+    EXPECT_EQ(a.computeKernelCycles, b.computeKernelCycles);
+    ASSERT_EQ(a.kernels.size(), b.kernels.size());
+    for (std::size_t k = 0; k < a.kernels.size(); ++k) {
+        EXPECT_EQ(a.kernels[k].name, b.kernels[k].name);
+        EXPECT_EQ(a.kernels[k].start, b.kernels[k].start);
+        EXPECT_EQ(a.kernels[k].finish, b.kernels[k].finish);
+    }
+    EXPECT_EQ(a.utilSeries, b.utilSeries);
+}
+
+void
+expectShardedMatchesSequential(const RunConfig &cfg, int shards)
+{
+    for (const StrategySpec &spec : allStrategies()) {
+        SCOPED_TRACE(cfg.topology.empty() ? "flat/" + spec.name
+                                          : cfg.topology + "/" +
+                                                spec.name);
+        RunResult seq = runWith(cfg, spec.name, 1);
+        RunResult shr = runWith(cfg, spec.name, shards);
+        expectIdentical(seq, shr);
+    }
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::string
+tempPath(const char *name)
+{
+    const char *dir = std::getenv("TMPDIR");
+    return std::string(dir && *dir ? dir : "/tmp") + "/" + name;
+}
+
+} // namespace
+
+TEST(ShardedDeterminism, FlatMatchesSequentialAcrossAllStrategies)
+{
+    // Default 8 GPUs x 4 switches: 5 domains, so 4 shards exercise
+    // the round-robin domain packing (two switches share shard 1).
+    expectShardedMatchesSequential(presetConfig(""), 4);
+}
+
+TEST(ShardedDeterminism, DgxH100MatchesSequentialAcrossAllStrategies)
+{
+    expectShardedMatchesSequential(presetConfig("dgx-h100"), 4);
+}
+
+TEST(ShardedDeterminism, Nvl72MatchesSequentialAcrossAllStrategies)
+{
+    // 16 GPUs = 2 groups x 4 rails + spine tier: 4 domains; 4 shards
+    // give each domain its own shard, splitting the tier links too.
+    expectShardedMatchesSequential(presetConfig("nvl72"), 4);
+}
+
+TEST(ShardedDeterminism, Rail2NodeMatchesSequentialAcrossAllStrategies)
+{
+    expectShardedMatchesSequential(presetConfig("rail-optimized-2node"),
+                                   4);
+}
+
+TEST(ShardedDeterminism, Rail4NodeMatchesSequentialAcrossAllStrategies)
+{
+    // 3 shards on a 4-domain shape: the spine tier shares a shard
+    // with leaf group 0 while group 1 runs apart, covering the
+    // mixed co-located/split tier-link wiring.
+    expectShardedMatchesSequential(presetConfig("rail-optimized-4node"),
+                                   3);
+}
+
+TEST(ShardedDeterminism, EightShardsClampToDomainsOnNvl72)
+{
+    RunConfig cfg = presetConfig("nvl72");
+    RunResult seq = runWith(cfg, "CAIS", 1);
+    RunResult shr = runWith(cfg, "CAIS", 8); // > 4 domains: clamped
+    expectIdentical(seq, shr);
+}
+
+TEST(ShardedDeterminism, ObserverOnAndOffBitIdentical)
+{
+    // The periodic trace sampler fires at window barriers under
+    // sharding; it must neither perturb the run (on vs off) nor see
+    // different state than the sequential sampler (trace bytes).
+    RunConfig cfg = presetConfig("nvl72");
+    cfg.traceSampleCycles = 500;
+
+    RunConfig traced = cfg;
+    traced.tracePath = tempPath("cais_shard_trace_seq.json");
+    RunResult seqTraced = runWith(traced, "CAIS", 1);
+    traced.tracePath = tempPath("cais_shard_trace_shr.json");
+    RunResult shrTraced = runWith(traced, "CAIS", 4);
+    RunResult shrPlain = runWith(cfg, "CAIS", 4);
+
+    expectIdentical(seqTraced, shrTraced);
+    expectIdentical(shrTraced, shrPlain);
+
+    std::string seqJson =
+        slurp(tempPath("cais_shard_trace_seq.json"));
+    std::string shrJson =
+        slurp(tempPath("cais_shard_trace_shr.json"));
+    ASSERT_FALSE(seqJson.empty());
+    EXPECT_EQ(seqJson, shrJson);
+    std::remove(tempPath("cais_shard_trace_seq.json").c_str());
+    std::remove(tempPath("cais_shard_trace_shr.json").c_str());
+}
+
+TEST(ShardedDeterminism, MetricsReportBytesIdentical)
+{
+    RunConfig cfg = presetConfig("rail-optimized-4node");
+    cfg.metricsPath = tempPath("cais_shard_metrics_seq.json");
+    runWith(cfg, "CAIS", 1);
+    cfg.metricsPath = tempPath("cais_shard_metrics_shr.json");
+    runWith(cfg, "CAIS", 4);
+
+    std::string seqJson =
+        slurp(tempPath("cais_shard_metrics_seq.json"));
+    std::string shrJson =
+        slurp(tempPath("cais_shard_metrics_shr.json"));
+    ASSERT_FALSE(seqJson.empty());
+    EXPECT_EQ(seqJson, shrJson);
+    std::remove(tempPath("cais_shard_metrics_seq.json").c_str());
+    std::remove(tempPath("cais_shard_metrics_shr.json").c_str());
+}
+
+TEST(ShardedDeterminism, ZeroLookaheadRejected)
+{
+    RunConfig cfg;
+    cfg.linkLatency = 0; // no latency to hide a window behind
+    cfg.shards = 4;
+    std::string err = cfg.validationError();
+    EXPECT_NE(err.find("lookahead"), std::string::npos) << err;
+
+    cfg.shards = 1; // sequential runs don't need lookahead
+    EXPECT_EQ(cfg.validationError(), "");
+}
+
+TEST(ShardedDeterminism, NegativeShardsRejected)
+{
+    RunConfig cfg;
+    cfg.shards = -2;
+    std::string err = cfg.validationError();
+    EXPECT_NE(err.find("shards"), std::string::npos) << err;
+}
+
+TEST(ShardedDeterminism, EnvResolvesOnlyWhenShardsIsAuto)
+{
+    RunConfig cfg;
+    EXPECT_EQ(cfg.effectiveShards(), 1); // no env, auto -> sequential
+    {
+        ScopedShardsEnv env("6");
+        EXPECT_EQ(cfg.effectiveShards(), 6);
+        cfg.shards = 2; // explicit beats the environment
+        EXPECT_EQ(cfg.effectiveShards(), 2);
+        cfg.shards = 0;
+    }
+    {
+        ScopedShardsEnv env("banana"); // invalid -> sequential
+        EXPECT_EQ(cfg.effectiveShards(), 1);
+    }
+    {
+        ScopedShardsEnv env("0"); // < 1 -> sequential
+        EXPECT_EQ(cfg.effectiveShards(), 1);
+    }
+}
+
+TEST(ShardedDeterminism, SystemClampsShardsToDomainCount)
+{
+    RunConfig cfg;
+    cfg.numGpus = 4;
+    cfg.numSwitches = 2; // 3 domains: host+GPUs, switch 0, switch 1
+    cfg.shards = 8;
+    System sys(cfg.toSystemConfig(strategyByName("CAIS")));
+    EXPECT_EQ(sys.activeShards(), 3);
+
+    cfg.shards = 1;
+    System seq(cfg.toSystemConfig(strategyByName("CAIS")));
+    EXPECT_EQ(seq.activeShards(), 1);
+}
+
+TEST(ShardedDeterminism, DomainMapCoversEveryShape)
+{
+    FabricParams flat;
+    flat.numGpus = 8;
+    flat.numSwitches = 4;
+    EXPECT_EQ(Fabric::numDomains(flat), 5);
+    // Flat switches round-robin over the non-primary shards.
+    EXPECT_EQ(Fabric::switchShard(flat, 0, 3), 1);
+    EXPECT_EQ(Fabric::switchShard(flat, 1, 3), 2);
+    EXPECT_EQ(Fabric::switchShard(flat, 2, 3), 1);
+    EXPECT_EQ(Fabric::switchShard(flat, 3, 3), 2);
+
+    FabricParams nvl = FabricParams::preset("nvl72");
+    EXPECT_EQ(Fabric::numDomains(nvl), 11); // 9 groups + spine + host
+    // All four rails of one group share that group's domain.
+    int s0 = Fabric::switchShard(nvl, 0, 11);
+    for (int r = 1; r < nvl.railsPerGroup; ++r)
+        EXPECT_EQ(Fabric::switchShard(nvl, r, 11), s0);
+    // The spine tier is one domain of its own.
+    int spine = Fabric::switchShard(nvl, nvl.numLeaves(), 11);
+    EXPECT_EQ(Fabric::switchShard(nvl, nvl.numSwitches - 1, 11), spine);
+
+    // Lookahead: GPU links always cross; tier links only count once
+    // some leaf is off the spine shard.
+    nvl.tierLinkLatency = 100; // below linkLatency (250)
+    EXPECT_EQ(Fabric::crossShardLookahead(nvl, 2), nvl.linkLatency);
+    EXPECT_EQ(Fabric::crossShardLookahead(nvl, 11), Cycle{100});
+}

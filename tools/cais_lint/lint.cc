@@ -954,6 +954,49 @@ ruleD6(Ctx &cx, const LexedFile &f)
     }
 }
 
+/** D8: scheduling onto an event queue fetched from a *looked-up*
+ *  component. Token shape `...).eq().schedule(` — the receiver of
+ *  the queue getter is itself a call result, so the caller reached
+ *  across the component graph to grab somebody else's queue. Under
+ *  the sharded event core that queue can live on another shard
+ *  domain; a direct schedule there skips the outbox/lookahead
+ *  machinery and only panics at runtime when the violation actually
+ *  fires. Plain-ident receivers (`sw.eventQueue().scheduleAfter(...)`
+ *  inside a helper that owns `sw`) stay legal: the component is
+ *  scheduling on its own queue. */
+void
+ruleD8(Ctx &cx, const LexedFile &f)
+{
+    if (!startsWith(f.path, "src/"))
+        return;
+    const auto &ts = f.toks;
+    for (std::size_t i = 6; i + 1 < ts.size(); ++i) {
+        if (ts[i].kind != Tok::ident)
+            continue;
+        const std::string &name = ts[i].text;
+        if (name != "schedule" && name != "scheduleAfter" &&
+            name != "scheduleAt")
+            continue;
+        if (!is(ts[i + 1], "("))
+            continue;
+        // Receiver chain: <call result> (.|->) (eq|eventQueue) ( ) . schedule
+        if (!(is(ts[i - 1], ".") || is(ts[i - 1], "->")))
+            continue;
+        if (!is(ts[i - 2], ")") || !is(ts[i - 3], "("))
+            continue;
+        if (ts[i - 4].kind != Tok::ident ||
+            (ts[i - 4].text != "eq" && ts[i - 4].text != "eventQueue"))
+            continue;
+        if (!(is(ts[i - 5], ".") || is(ts[i - 5], "->")))
+            continue;
+        if (!is(ts[i - 6], ")"))
+            continue; // plain-ident receiver: own-queue schedule
+        report(cx, f.path, ts[i].line, "D8",
+               "'" + name + "(' on an event queue fetched from a "
+               "looked-up component (cross-shard-domain hazard)");
+    }
+}
+
 /** Drop findings covered by a valid suppression; report bad ones. */
 void
 applySuppressions(const LexedFile &f, std::vector<Finding> &all)
@@ -1035,6 +1078,13 @@ ruleTable()
          "function in src/ (model code feeding simulation state)",
          "return a std::map / sorted vector, or sort the result "
          "before iterating"},
+        {"D8",
+         "EventQueue schedule on a queue fetched from a looked-up "
+         "component (cross-shard-domain hazard under the sharded "
+         "event core)",
+         "schedule on your own queue and let links/mailboxes carry "
+         "work across components; cross-shard schedules must clear "
+         "the conservative lookahead (DESIGN.md §6f)"},
         {"X1", "malformed cais-lint suppression comment",
          "use: // cais-lint: allow(<rule>) -- <justification>"},
     };
@@ -1080,6 +1130,7 @@ Linter::run(const Options &opts)
         ruleD5(fcx, f);
         ruleD6(fcx, f);
         ruleD7(fcx, f);
+        ruleD8(fcx, f);
         applySuppressions(f, local);
         findings.insert(findings.end(),
                         std::make_move_iterator(local.begin()),

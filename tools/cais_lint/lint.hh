@@ -20,7 +20,13 @@
  *  - D6  std::function passed where an EventQueue callback
  *        (InlineEvent) is required;
  *  - D7  iteration over an unordered container *returned by a
- *        function* in src/ (the shape D1's variable pass misses).
+ *        function* in src/ (the shape D1's variable pass misses);
+ *  - D8  EventQueue schedule calls on a queue fetched from a
+ *        looked-up component (`lookup(x).eq().schedule(...)`) —
+ *        under the sharded event core (DESIGN.md §6f) that queue may
+ *        belong to another shard domain, and a cross-shard schedule
+ *        inside the lookahead window is a determinism violation the
+ *        runtime can only catch when it actually fires.
  *
  * Any finding is suppressible at its site with
  *
@@ -45,7 +51,7 @@ struct Finding
 {
     std::string file; ///< path relative to the repo root, '/'-separated
     int line = 0;
-    std::string rule;    ///< "D1".."D7" or "X1"
+    std::string rule;    ///< "D1".."D8" or "X1"
     std::string message; ///< what was found
     std::string hint;    ///< one-line fix hint
 };

@@ -74,8 +74,8 @@ usage()
         "  json_out=PATH   write the JSON document to PATH\n"
         "  topology=NAME   fabric preset (dgx-h100, nvl72, "
         "rail-optimized-2node/-4node)\n"
-        "  gpus= switches= chunk= sms= dim= tok= seed=   machine "
-        "knobs (bench defaults)\n");
+        "  gpus= switches= chunk= sms= dim= tok= seed= shards=   "
+        "machine knobs (bench defaults)\n");
     return 2;
 }
 
@@ -127,6 +127,10 @@ main(int argc, char **argv)
         static_cast<int>(params.getInt("sms", cfg.gpu.numSms));
     cfg.seed = static_cast<std::uint64_t>(
         params.getInt("seed", static_cast<std::int64_t>(cfg.seed)));
+    // shards= runs the static pass against the sharded event core's
+    // configuration path (domain clamping + lookahead validation,
+    // DESIGN.md §6f) — the checks themselves never execute events.
+    cfg.shards = static_cast<int>(params.getInt("shards", cfg.shards));
     std::string cfg_err = cfg.validationError();
     if (!cfg_err.empty()) {
         std::fprintf(stderr, "cais_verify: invalid config: %s\n",
