@@ -12,6 +12,7 @@
 #define CAIS_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
@@ -101,6 +102,15 @@ struct BenchArgs
         // shards=<n> selects the sharded event core (DESIGN.md §6f);
         // the default 0 defers to CAIS_SHARDS, then sequential.
         cfg.shards = static_cast<int>(params.getInt("shards", 0));
+        // Reject bad values (shards=-2, chunk=3000, ...) here with
+        // the bounds message instead of aborting deep inside the
+        // first queued run — and never silently clamp them.
+        std::string err = cfg.validationError();
+        if (!err.empty()) {
+            std::fprintf(stderr, "bench: invalid config: %s\n",
+                         err.c_str());
+            std::exit(2);
+        }
         return cfg;
     }
 

@@ -27,6 +27,18 @@
  *  - V5  kernel-graph sanity: kernel and tile-level producer/consumer
  *        dependencies are acyclic, and asymmetric-overlap pairs have
  *        complementary traffic directions.
+ *  - V6  lookahead soundness: the declared conservative window
+ *        (Fabric::crossShardLookahead) equals the minimum latency
+ *        recomputed over every link whose endpoints map to different
+ *        shard domains, for every shard count the shape supports; a
+ *        violation names the faster cross-domain link as a concrete
+ *        path.
+ *  - V7  domain closure: every switch node maps to exactly one
+ *        non-primary shard domain (rails of a group and the spine
+ *        tier agree on multi-tier shapes), shard 0 holds exactly the
+ *        host + GPU + kernel-lifecycle set, and a constructed link
+ *        runs in split-delivery mode exactly when its endpoints'
+ *        domains differ.
  *
  * Diagnostics are structured: renderable as human-readable text with
  * a fix-it hint per rule, or as a schema-versioned cais-verify-v1
@@ -56,7 +68,7 @@ inline constexpr const char *verifySchemaVersion = "cais-verify-v1";
 /** One rule violation with its structured payload. */
 struct Diagnostic
 {
-    std::string id;      ///< "V1".."V5"
+    std::string id;      ///< "V1".."V7"
     std::string message; ///< what is wrong, with concrete values
     std::string hint;    ///< one-line fix-it
 
@@ -96,7 +108,7 @@ struct ExtraCoupling
 /** Tuning knobs of one verification pass. */
 struct Options
 {
-    /** Rule ids to skip ("V1".."V5"); unknown ids are ignored. */
+    /** Rule ids to skip ("V1".."V7"); unknown ids are ignored. */
     std::set<std::string> suppress;
 
     /** Context echoed into the JSON document (may stay empty). */
@@ -105,6 +117,18 @@ struct Options
 
     /** Injected CDG couplings (testing / protocol exploration). */
     std::vector<ExtraCoupling> extraCouplings;
+
+    /**
+     * Seeded-defect hooks for the shard-model rules (testing the
+     * checker itself, like extraCouplings): a non-zero
+     * v6LookaheadOverride replaces the declared
+     * Fabric::crossShardLookahead() value V6 compares against; a
+     * v7DomainOverrideSwitch >= 0 remaps that switch onto
+     * v7DomainOverrideShard in the shard map V6/V7 recompute.
+     */
+    Cycle v6LookaheadOverride = 0;
+    int v7DomainOverrideSwitch = -1;
+    int v7DomainOverrideShard = 0;
 };
 
 /** Outcome of one verification pass. */

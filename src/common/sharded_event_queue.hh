@@ -54,7 +54,7 @@ class ShardedEventQueue
      * it must be non-zero (RunConfig::validationError enforces this).
      */
     ShardedEventQueue(EventQueue &primary, int shards, Cycle lookahead);
-    ~ShardedEventQueue();
+    CAIS_CROSS_SHARD_CHANNEL ~ShardedEventQueue();
 
     ShardedEventQueue(const ShardedEventQueue &) = delete;
     ShardedEventQueue &operator=(const ShardedEventQueue &) = delete;
@@ -73,6 +73,7 @@ class ShardedEventQueue
      * budget is exhausted, checked at barriers). Must be called from
      * the thread that owns shard 0. @return events executed.
      */
+    CAIS_CROSS_SHARD_CHANNEL
     std::uint64_t runAll(std::uint64_t max_events = ~0ull);
 
     /** Events executed over all shards (1:1 with sequential). */
@@ -96,8 +97,10 @@ class ShardedEventQueue
                              std::function<void(Cycle)> fn);
 
   private:
+    CAIS_OWNED_BY_DOMAIN(barrier);
+
     void drainWindow(int s);
-    void workerMain(int s);
+    CAIS_CROSS_SHARD_CHANNEL void workerMain(int s);
 
     /** Earliest pending cycle over all shards, or ~0ull when empty. */
     Cycle minNextWhen() const;
@@ -125,6 +128,8 @@ class ShardedEventQueue
     /** (shard, mailbox index) pairs, reused across windows. */
     struct OutRef
     {
+        CAIS_OWNED_BY_DOMAIN(parent);
+
         int shard;
         std::uint32_t rec;
     };
@@ -133,13 +138,15 @@ class ShardedEventQueue
     // Worker pool: one thread per shard 1..N-1, parked on a
     // generation-counted condition variable between windows (a spin
     // barrier would be pathological when shards oversubscribe cores).
+    // The generation counter and worker tally are written by the
+    // barrier thread and read by every worker under `mu`.
     std::vector<std::thread> workers;
     std::mutex mu;
     std::condition_variable cvStart;
     std::condition_variable cvDone;
-    std::uint64_t windowGen = 0;
-    int pendingWorkers = 0;
-    bool stopping = false;
+    CAIS_SHARD_SHARED std::uint64_t windowGen = 0;
+    CAIS_SHARD_SHARED int pendingWorkers = 0;
+    CAIS_SHARD_SHARED bool stopping = false;
 
     // Periodic observer (mirrors EventQueue's, fired at barriers).
     static constexpr Cycle obsDisabled = ~0ull;

@@ -54,6 +54,8 @@ class GpuCore
     }
 
   private:
+    CAIS_OWNED_BY_DOMAIN(host);
+
     GpuId gpuId;
     GpuParams p;
     EventQueue &eq;

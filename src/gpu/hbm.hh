@@ -41,6 +41,8 @@ class HbmModel : public Probe
     }
 
   private:
+    CAIS_OWNED_BY_DOMAIN(host);
+
     EventQueue &eq;
     double bw;
     SerDivider serDiv;

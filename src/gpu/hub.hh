@@ -55,12 +55,16 @@ class DataArrivalHandler
 /** One chunked communication request stream from a thread block. */
 struct HubJob
 {
+    CAIS_OWNED_BY_DOMAIN(host);
+
     KernelId kernel = invalidId;
     TbId tb = invalidId;
     GroupId group = invalidId;
 
     struct Chunk
     {
+        CAIS_OWNED_BY_DOMAIN(parent);
+
         RemoteOpKind kind;
         Addr addr;
         std::uint32_t bytes;
@@ -123,8 +127,12 @@ class GpuHub : public PacketSink, public Probe
     }
 
   private:
+    CAIS_OWNED_BY_DOMAIN(host);
+
     struct JobState
     {
+        CAIS_OWNED_BY_DOMAIN(parent);
+
         std::unique_ptr<HubJob> job;
         std::size_t nextChunk = 0;
         int awaitingInject = 0;  ///< chunks not yet on the wire

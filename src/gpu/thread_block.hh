@@ -31,6 +31,8 @@ namespace cais
 /** Shared per-GPU context handed to every TbRun. */
 struct TbRunContext
 {
+    CAIS_OWNED_BY_DOMAIN(host);
+
     EventQueue *eq = nullptr;
     GpuHub *hub = nullptr;
     Synchronizer *sync = nullptr;
@@ -73,6 +75,8 @@ class TbRun
     void maybeAdvance();
     void issuePushes();
     void finish();
+
+    CAIS_OWNED_BY_DOMAIN(host);
 
     TbRunContext ctx;
     GpuId gpuId;

@@ -10,6 +10,8 @@
 
 #include <functional>
 
+#include "common/types.hh"
+
 namespace cais
 {
 
@@ -33,6 +35,8 @@ class RoundRobinArbiter
     int cursor() const { return (last + 1) % n; }
 
   private:
+    CAIS_OWNED_BY_DOMAIN(parent);
+
     int n;
     int last;
 };

@@ -92,8 +92,11 @@ class CreditLink : public Probe
      * Free one receive-buffer slot; the credit flies back upstream.
      * Credits freed for the same VC in the same cycle coalesce into
      * one arrival event (they ride the same reverse-channel beat).
+     * Under split execution the sink's shard calls this, appending a
+     * safeHorizon-trimmed cell and scheduling the arrival back onto
+     * the sender's queue through the barrier mailbox.
      */
-    void returnCredit(int vc);
+    CAIS_CROSS_SHARD_CHANNEL void returnCredit(int vc);
 
     double bytesPerCycle() const { return bw; }
     Cycle latencyCycles() const { return lat; }
@@ -117,8 +120,11 @@ class CreditLink : public Probe
                          const std::string &prefix) const override;
 
   private:
-    /** Try to start serializing the next eligible packet. */
-    void tryIssue();
+    CAIS_OWNED_BY_DOMAIN(sender);
+
+    /** Try to start serializing the next eligible packet; split
+     *  deliveries are scheduled onto the sink shard's queue. */
+    CAIS_CROSS_SHARD_CHANNEL void tryIssue();
 
     EventQueue &eq;
     EventQueue *sinkEq; ///< == &eq unless split across shards
@@ -131,8 +137,12 @@ class CreditLink : public Probe
     std::vector<int> creditCount;
 
     /** In-flight credit batches per VC: (arrival cycle, count), one
-     *  scheduled event per batch, ordered by arrival cycle. */
-    std::vector<std::deque<std::pair<Cycle, int>>> pendingCredits;
+     *  scheduled event per batch, ordered by arrival cycle. Under
+     *  split execution both shards touch these cells: the sink shard
+     *  appends/coalesces inside returnCredit (trimmed at the window's
+     *  safeHorizon), the sender shard consumes arrived batches. */
+    CAIS_SHARD_SHARED std::vector<std::deque<std::pair<Cycle, int>>>
+        pendingCredits;
 
     RoundRobinArbiter arb;
     PacketSink *sink = nullptr;

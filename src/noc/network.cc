@@ -401,24 +401,52 @@ void
 Fabric::forEachLink(
     const std::function<void(const CreditLink &)> &fn) const
 {
-    for (const auto &row : up)
-        for (const auto &l : row)
-            fn(*l);
-    if (!p.multiTier()) {
-        for (const auto &row : down)
-            for (const auto &l : row)
-                fn(*l);
-        return;
+    forEachLink([&fn](const CreditLink &l, const LinkEndpoints &) {
+        fn(l);
+    });
+}
+
+void
+Fabric::forEachLink(
+    const std::function<void(const CreditLink &,
+                             const LinkEndpoints &)> &fn) const
+{
+    const int gpp = p.multiTier() ? p.gpusPerGroup() : 0;
+    for (GpuId g = 0; g < static_cast<GpuId>(up.size()); ++g) {
+        const auto &row = up[static_cast<std::size_t>(g)];
+        for (int i = 0; i < static_cast<int>(row.size()); ++i) {
+            int s = p.multiTier() ? p.leafIndex(g / gpp, i) : i;
+            fn(*row[static_cast<std::size_t>(i)],
+               {g, switchNodeId(s)});
+        }
     }
-    for (const auto &row : down)
-        for (const auto &l : row)
-            fn(*l);
-    for (const auto &row : tierUp)
-        for (const auto &l : row)
-            fn(*l);
-    for (const auto &row : tierDown)
-        for (const auto &l : row)
-            fn(*l);
+    for (SwitchId s = 0; s < static_cast<SwitchId>(down.size()); ++s) {
+        const auto &row = down[static_cast<std::size_t>(s)];
+        for (int i = 0; i < static_cast<int>(row.size()); ++i) {
+            // Tiered rows are leaf-indexed over local GPUs; the GPU id
+            // recomposes from the leaf's group and the local index.
+            GpuId g = p.multiTier()
+                          ? (s / p.railsPerGroup) * gpp + i
+                          : i;
+            fn(*row[static_cast<std::size_t>(i)],
+               {switchNodeId(s), g});
+        }
+    }
+    if (!p.multiTier())
+        return;
+    const int leaves = p.numLeaves();
+    for (int l = 0; l < static_cast<int>(tierUp.size()); ++l) {
+        const auto &row = tierUp[static_cast<std::size_t>(l)];
+        for (int k = 0; k < static_cast<int>(row.size()); ++k)
+            fn(*row[static_cast<std::size_t>(k)],
+               {switchNodeId(l), switchNodeId(leaves + k)});
+    }
+    for (int k = 0; k < static_cast<int>(tierDown.size()); ++k) {
+        const auto &row = tierDown[static_cast<std::size_t>(k)];
+        for (int l = 0; l < static_cast<int>(row.size()); ++l)
+            fn(*row[static_cast<std::size_t>(l)],
+               {switchNodeId(leaves + k), switchNodeId(l)});
+    }
 }
 
 std::vector<const CreditLink *>

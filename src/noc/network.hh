@@ -134,6 +134,25 @@ class Fabric
     void forEachLink(
         const std::function<void(const CreditLink &)> &fn) const;
 
+    /**
+     * Sender/sink node ids of one link, in the same node-id space the
+     * packets use (GPUs then switchNodeId()). cais-verify V6/V7 map
+     * them to shard domains to recompute the cross-shard lookahead.
+     */
+    struct LinkEndpoints
+    {
+        CAIS_OWNED_BY_DOMAIN(message);
+
+        int srcNode = invalidId;
+        int dstNode = invalidId;
+    };
+
+    /** forEachLink variant also reporting each link's endpoints, in
+     *  the same visit order as the name-only overload. */
+    void forEachLink(
+        const std::function<void(const CreditLink &,
+                                 const LinkEndpoints &)> &fn) const;
+
     const FabricParams &params() const { return p; }
     const DeterministicRouting &routing() const { return route; }
 
@@ -174,6 +193,8 @@ class Fabric
                          const std::string &prefix) const;
 
   private:
+    CAIS_OWNED_BY_DOMAIN(host);
+
     void buildFlat();
     void buildTiered();
 

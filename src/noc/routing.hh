@@ -51,6 +51,8 @@ class DeterministicRouting
     static std::uint64_t mix64(std::uint64_t x);
 
   private:
+    CAIS_OWNED_BY_DOMAIN(config);
+
     int switches;
     std::uint64_t interleave;
 };

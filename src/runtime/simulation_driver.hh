@@ -113,7 +113,7 @@ struct RunConfig
      */
     bool verify = true;
 
-    /** Rule ids ("V1".."V5") the verification gate should skip. */
+    /** Rule ids ("V1".."V7") the verification gate should skip. */
     std::vector<std::string> verifySuppress;
 
     /** First bounds violation as a message, or "" when valid. */

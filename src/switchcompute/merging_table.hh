@@ -36,6 +36,8 @@ enum class SessionState : std::uint8_t
 /** One merging-table entry. */
 struct MergeEntry
 {
+    CAIS_OWNED_BY_DOMAIN(parent);
+
     SessionState state = SessionState::invalid;
     Addr addr = 0;
     GpuId homeGpu = invalidId;
@@ -115,6 +117,8 @@ class MergingTable
     std::vector<MergeEntry> &slots() { return entries; }
 
   private:
+    CAIS_OWNED_BY_DOMAIN(parent);
+
     std::uint64_t capacity;
     std::uint32_t chunk;
     std::size_t maxEntries; ///< 0 == unbounded

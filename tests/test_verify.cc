@@ -72,10 +72,10 @@ TEST(Verify, ShippedConfigsProduceZeroDiagnostics)
     }
 }
 
-TEST(Verify, RuleTableListsAllFiveRules)
+TEST(Verify, RuleTableListsAllSevenRules)
 {
     const auto &rules = verify::ruleTable();
-    ASSERT_EQ(rules.size(), 5u);
+    ASSERT_EQ(rules.size(), 7u);
     for (std::size_t i = 0; i < rules.size(); ++i) {
         EXPECT_EQ(rules[i].id, "V" + std::to_string(i + 1));
         EXPECT_NE(std::string(rules[i].hint), "");
@@ -296,6 +296,168 @@ TEST(Verify, V5CatchesSameDirectionOverlapPair)
 }
 
 // ---------------------------------------------------------------
+// V6: cross-shard lookahead soundness
+// ---------------------------------------------------------------
+
+TEST(Verify, V6AndV7CleanOnEveryPreset)
+{
+    for (const std::string &name : FabricParams::presetNames()) {
+        SystemConfig c = tinyConfig();
+        c.fabric = FabricParams::preset(name);
+        EXPECT_TRUE(verify::verifySystem(System(c)).ok()) << name;
+    }
+}
+
+TEST(Verify, V6CleanWithFastTierLinks)
+{
+    // The tricky lookahead case: tier links faster than rail links
+    // lower the window once some leaf lands off the spine shard.
+    // V6's independent recomputation must agree with the declared
+    // Fabric::crossShardLookahead on it.
+    SystemConfig c = tinyConfig();
+    c.fabric = FabricParams::preset("rail-optimized-2node");
+    c.fabric.tierLinkLatency = 100;
+    EXPECT_TRUE(verify::verifySystem(System(c)).ok());
+}
+
+TEST(Verify, V6CatchesMisDeclaredLookahead)
+{
+    System sys(tinyConfig());
+    verify::Options o;
+    o.v6LookaheadOverride = 1; // window faster than any link
+    verify::VerifyResult r = verify::verifySystem(sys, o);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.diagnostics[0].id, "V6");
+    // The violating link is reported as a concrete path: shard
+    // count, link name, endpoint node ids, both latencies.
+    EXPECT_TRUE(pathContains(r.diagnostics[0], "shards=2"));
+    EXPECT_TRUE(pathContains(r.diagnostics[0], "node"));
+    EXPECT_TRUE(pathContains(r.diagnostics[0], "latency=250"));
+    EXPECT_TRUE(pathContains(r.diagnostics[0], "declared=1"));
+    EXPECT_NE(r.diagnostics[0].hint, "");
+}
+
+// ---------------------------------------------------------------
+// V7: shard-domain closure
+// ---------------------------------------------------------------
+
+TEST(Verify, V7CatchesSwitchMappedToHostShard)
+{
+    System sys(tinyConfig());
+    verify::Options o;
+    o.v7DomainOverrideSwitch = 1;
+    o.v7DomainOverrideShard = 0; // claim switch 1 lives with the host
+    verify::VerifyResult r = verify::verifySystem(sys, o);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.diagnostics[0].id, "V7");
+    // switch 1 on the 4-GPU fabric is node 5: the diagnostic names it
+    EXPECT_TRUE(pathContains(r.diagnostics[0], "node 5"));
+}
+
+TEST(Verify, V7CatchesRailShardDisagreement)
+{
+    SystemConfig c = tinyConfig();
+    c.fabric = FabricParams::preset("rail-optimized-2node");
+    System sys(c);
+    verify::Options o;
+    o.v7DomainOverrideSwitch = 1; // rail 1 of group 0
+    o.v7DomainOverrideShard = 2;  // ...pushed off its group's shard
+    verify::VerifyResult r = verify::verifySystem(sys, o);
+    ASSERT_FALSE(r.ok());
+    bool sawDisagreement = false;
+    for (const verify::Diagnostic &d : r.diagnostics) {
+        EXPECT_EQ(d.id, "V7");
+        if (d.message.find("rails disagree") != std::string::npos) {
+            sawDisagreement = true;
+            // rail 1 of group 0 on the 16-GPU shape is node 17
+            EXPECT_TRUE(pathContains(d, "node 17"));
+        }
+    }
+    EXPECT_TRUE(sawDisagreement);
+}
+
+TEST(Verify, V7CatchesSplitModeMismatchOnShardedSystem)
+{
+    SystemConfig c = tinyConfig();
+    c.shards = 2;
+    System sys(c);
+    ASSERT_EQ(sys.activeShards(), 2);
+    EXPECT_TRUE(verify::verifySystem(sys).ok());
+    // Claim switch 0 shares the host shard: its links really are in
+    // split-delivery mode, so the claimed map cannot close.
+    verify::Options o;
+    o.v7DomainOverrideSwitch = 0;
+    o.v7DomainOverrideShard = 0;
+    verify::VerifyResult r = verify::verifySystem(sys, o);
+    ASSERT_FALSE(r.ok());
+    bool sawSplitMismatch = false;
+    for (const verify::Diagnostic &d : r.diagnostics)
+        if (d.id == "V7" &&
+            d.message.find("split-delivery") != std::string::npos)
+            sawSplitMismatch = true;
+    EXPECT_TRUE(sawSplitMismatch);
+}
+
+TEST(Verify, V7CleanOnShardedPresets)
+{
+    for (const std::string &name : FabricParams::presetNames()) {
+        SystemConfig c = tinyConfig();
+        c.fabric = FabricParams::preset(name);
+        c.shards = 4;
+        EXPECT_TRUE(verify::verifySystem(System(c)).ok()) << name;
+    }
+}
+
+// ---------------------------------------------------------------
+// Suppression end-to-end (satellite: verifySuppress)
+// ---------------------------------------------------------------
+
+TEST(Verify, V6V7SuppressionSkipsTheRules)
+{
+    System sys(tinyConfig());
+    verify::Options o;
+    o.v6LookaheadOverride = 1;
+    o.v7DomainOverrideSwitch = 0;
+    o.v7DomainOverrideShard = 0;
+    EXPECT_FALSE(verify::verifySystem(sys, o).ok());
+    o.suppress.insert("V6");
+    EXPECT_FALSE(verify::verifySystem(sys, o).ok());
+    o.suppress.insert("V7");
+    EXPECT_TRUE(verify::verifySystem(sys, o).ok());
+}
+
+TEST(Verify, UnknownSuppressIdIsIgnored)
+{
+    System sys(tinyConfig());
+    verify::Options o;
+    o.suppress.insert("V99");
+    o.suppress.insert("bogus");
+    o.v6LookaheadOverride = 1;
+    verify::VerifyResult r = verify::verifySystem(sys, o);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.diagnostics[0].id, "V6");
+}
+
+TEST(Verify, SuppressedRunIsBitIdenticalToUnsuppressed)
+{
+    LlmConfig m = megaGpt4B().scaled(0.25, 0.25);
+    RunConfig cfg;
+    cfg.gpu.jitterSigma = 0.0;
+    cfg.verify = true;
+
+    OpGraph g1 = buildSubLayer(m, SubLayerId::L1);
+    RunResult plain = runGraph(makeCais(), g1, cfg, "L1");
+
+    cfg.verifySuppress = {"V6", "V7", "V99"};
+    OpGraph g2 = buildSubLayer(m, SubLayerId::L1);
+    RunResult sup = runGraph(makeCais(), g2, cfg, "L1");
+
+    EXPECT_EQ(plain.makespan, sup.makespan);
+    EXPECT_EQ(plain.eventsExecuted, sup.eventsExecuted);
+    EXPECT_GT(plain.eventsExecuted, 0u);
+}
+
+// ---------------------------------------------------------------
 // Output formats
 // ---------------------------------------------------------------
 
@@ -386,6 +548,10 @@ TEST(Verify, RunConfigValidationRejectsBadBounds)
     c = ok;
     c.gpu.numSms = 0;
     EXPECT_NE(c.validationError().find("numSms"), std::string::npos);
+    c = ok;
+    c.shards = -2;
+    EXPECT_NE(c.validationError().find("shards must be >= 0"),
+              std::string::npos);
 }
 
 TEST(Verify, RunConfigValidateIsFatal)

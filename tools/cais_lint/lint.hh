@@ -26,7 +26,18 @@
  *        under the sharded event core (DESIGN.md §6f) that queue may
  *        belong to another shard domain, and a cross-shard schedule
  *        inside the lookahead window is a determinism violation the
- *        runtime can only catch when it actually fires.
+ *        runtime can only catch when it actually fires;
+ *  - D9  a method of a CAIS_OWNED_BY_DOMAIN class scheduling on a
+ *        named queue handle that is not its own (`sinkEq->schedule`)
+ *        outside a CAIS_CROSS_SHARD_CHANNEL function — the
+ *        shard-ownership companion of D8's call-chain shape;
+ *  - D10 a fabric-resident class (src/noc/, src/switchcompute/,
+ *        src/gpu/, or the sharded event core) holding mutable
+ *        members without a CAIS_OWNED_BY_DOMAIN declaration;
+ *  - D11 a CAIS_SHARD_SHARED field accessed outside
+ *        CAIS_CROSS_SHARD_CHANNEL code (shared cells are only
+ *        coherent inside the sanctioned channels: the outbox merge
+ *        and the safeHorizon-trimmed credit path).
  *
  * Any finding is suppressible at its site with
  *
@@ -40,6 +51,7 @@
 #ifndef CAIS_TOOLS_CAIS_LINT_LINT_HH
 #define CAIS_TOOLS_CAIS_LINT_LINT_HH
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -51,7 +63,7 @@ struct Finding
 {
     std::string file; ///< path relative to the repo root, '/'-separated
     int line = 0;
-    std::string rule;    ///< "D1".."D8" or "X1"
+    std::string rule;    ///< "D1".."D11" or "X1"
     std::string message; ///< what was found
     std::string hint;    ///< one-line fix hint
 };
@@ -107,6 +119,15 @@ class Linter
 
 /** Serialize findings to the baseline format ("rule|file|line"). */
 std::string writeBaseline(const std::vector<Finding> &findings);
+
+/**
+ * Serialize findings as a cais-lint-v1 JSON document: schema tag,
+ * files scanned, per-rule counts over the full rule table, and one
+ * record per finding. Deterministic byte-stable output (findings are
+ * already sorted by Linter::run).
+ */
+std::string writeFindingsJson(const std::vector<Finding> &findings,
+                              std::size_t files_scanned);
 
 /**
  * Drop findings present in @p baseline_text (emitted by

@@ -3,11 +3,16 @@
  * cais-lint command-line driver.
  *
  *   cais_lint [--root DIR] [--baseline FILE] [--write-baseline FILE]
- *             [--d4-allow SUBSTR]... [--list-rules] [paths...]
+ *             [--d4-allow SUBSTR]... [--json] [--json-out FILE]
+ *             [--list-rules] [paths...]
  *
  * With no paths, lints src/, bench/ and tests/ under --root (default:
- * the current directory). Exit status: 0 clean, 1 findings, 2 usage
- * or I/O error.
+ * the current directory). --json replaces the text report on stdout
+ * with a cais-lint-v1 JSON document; --json-out writes the same
+ * document to FILE while keeping the text report (for CI artifact
+ * upload). Exit status is the same in all output modes and is the
+ * machine-readable verdict: 0 clean, 1 findings, 2 usage or I/O
+ * error.
  */
 
 #include "lint.hh"
@@ -76,7 +81,8 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--root DIR] [--baseline FILE] [--write-baseline FILE]\n"
-        "          [--d4-allow SUBSTR]... [--list-rules] [paths...]\n",
+        "          [--d4-allow SUBSTR]... [--json] [--json-out FILE]\n"
+        "          [--list-rules] [paths...]\n",
         argv0);
     return 2;
 }
@@ -87,7 +93,8 @@ int
 main(int argc, char **argv)
 {
     fs::path root = ".";
-    std::string baselinePath, writeBaselinePath;
+    std::string baselinePath, writeBaselinePath, jsonOutPath;
+    bool jsonStdout = false;
     std::vector<std::string> paths;
     Options opts;
 
@@ -114,6 +121,11 @@ main(int argc, char **argv)
                 return usage(argv[0]);
         } else if (a == "--write-baseline") {
             if (!nextArg(writeBaselinePath))
+                return usage(argv[0]);
+        } else if (a == "--json") {
+            jsonStdout = true;
+        } else if (a == "--json-out") {
+            if (!nextArg(jsonOutPath))
                 return usage(argv[0]);
         } else if (a == "--d4-allow") {
             std::string v;
@@ -194,6 +206,22 @@ main(int argc, char **argv)
                          "cais_lint: note: %d stale baseline entr%s "
                          "(fixed findings; consider regenerating)\n",
                          stale, stale == 1 ? "y" : "ies");
+    }
+
+    if (!jsonOutPath.empty()) {
+        std::ofstream out(jsonOutPath, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "cais_lint: cannot write %s\n",
+                         jsonOutPath.c_str());
+            return 2;
+        }
+        out << writeFindingsJson(findings, files.size());
+    }
+
+    if (jsonStdout) {
+        std::fputs(writeFindingsJson(findings, files.size()).c_str(),
+                   stdout);
+        return findings.empty() ? 0 : 1;
     }
 
     for (const Finding &f : findings)

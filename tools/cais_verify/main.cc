@@ -8,12 +8,16 @@
  *   cais_verify strategy=cais          one strategy
  *   cais_verify workload=L2            one workload
  *   cais_verify suppress=V3,V5         skip rules
+ *   cais_verify topology=all           sweep flat + every preset
  *   cais_verify --json [json_out=f]    cais-verify-v1 JSON document
  *   cais_verify --list-rules           print the rule table
  *
  * Machine knobs mirror the benches: topology= gpus= switches= chunk=
- * sms= dim= tok= seed=. Exit code: 0 clean, 1 diagnostics found,
- * 2 usage.
+ * sms= dim= tok= seed= shards=. topology=all repeats the whole
+ * strategy x workload sweep on the flat shape and every shipped
+ * preset (the CI acceptance sweep for the shard-model rules V6/V7),
+ * tagging each run's workload as "L1@nvl72" etc. Exit code: 0 clean,
+ * 1 diagnostics found, 2 usage.
  */
 
 #include <cctype>
@@ -73,7 +77,8 @@ usage()
         "  suppress=V1,V3  skip rules\n"
         "  json_out=PATH   write the JSON document to PATH\n"
         "  topology=NAME   fabric preset (dgx-h100, nvl72, "
-        "rail-optimized-2node/-4node)\n"
+        "rail-optimized-2node/-4node),\n"
+        "                  or 'all' to sweep flat + every preset\n"
         "  gpus= switches= chunk= sms= dim= tok= seed= shards=   "
         "machine knobs (bench defaults)\n");
     return 2;
@@ -111,31 +116,54 @@ main(int argc, char **argv)
         }
     }
 
-    RunConfig cfg;
-    cfg.topology = params.getString("topology", "");
-    // With a preset, default the GPU count to the preset's own
-    // (nvl72 -> 72); gpus= still overrides for withGpus scaling.
-    if (const FabricParams *p =
-            FabricParams::findPreset(cfg.topology))
-        cfg.numGpus = p->numGpus;
-    cfg.numGpus = static_cast<int>(params.getInt("gpus", cfg.numGpus));
-    cfg.numSwitches =
-        static_cast<int>(params.getInt("switches", cfg.numSwitches));
-    cfg.chunkBytes = static_cast<std::uint32_t>(
-        params.getInt("chunk", cfg.chunkBytes));
-    cfg.gpu.numSms =
-        static_cast<int>(params.getInt("sms", cfg.gpu.numSms));
-    cfg.seed = static_cast<std::uint64_t>(
-        params.getInt("seed", static_cast<std::int64_t>(cfg.seed)));
-    // shards= runs the static pass against the sharded event core's
-    // configuration path (domain clamping + lookahead validation,
-    // DESIGN.md §6f) — the checks themselves never execute events.
-    cfg.shards = static_cast<int>(params.getInt("shards", cfg.shards));
-    std::string cfg_err = cfg.validationError();
-    if (!cfg_err.empty()) {
-        std::fprintf(stderr, "cais_verify: invalid config: %s\n",
-                     cfg_err.c_str());
-        return 2;
+    // topology=all sweeps the flat default shape plus every shipped
+    // preset; otherwise a single (possibly empty = flat) topology.
+    std::vector<std::string> topologies;
+    const std::string topo_arg = params.getString("topology", "");
+    const bool sweep_all = topo_arg == "all";
+    if (sweep_all) {
+        topologies.push_back("");
+        for (const std::string &n : FabricParams::presetNames())
+            topologies.push_back(n);
+    } else {
+        topologies.push_back(topo_arg);
+    }
+
+    auto makeCfg = [&](const std::string &topo) {
+        RunConfig cfg;
+        cfg.topology = topo;
+        // With a preset, default the GPU count to the preset's own
+        // (nvl72 -> 72); gpus= still overrides for withGpus scaling
+        // (single-topology mode only — 'all' keeps preset shapes).
+        if (const FabricParams *p = FabricParams::findPreset(topo))
+            cfg.numGpus = p->numGpus;
+        if (!sweep_all) {
+            cfg.numGpus =
+                static_cast<int>(params.getInt("gpus", cfg.numGpus));
+            cfg.numSwitches = static_cast<int>(
+                params.getInt("switches", cfg.numSwitches));
+        }
+        cfg.chunkBytes = static_cast<std::uint32_t>(
+            params.getInt("chunk", cfg.chunkBytes));
+        cfg.gpu.numSms =
+            static_cast<int>(params.getInt("sms", cfg.gpu.numSms));
+        cfg.seed = static_cast<std::uint64_t>(params.getInt(
+            "seed", static_cast<std::int64_t>(cfg.seed)));
+        // shards= runs the static pass against the sharded event
+        // core's configuration path (domain clamping + lookahead
+        // validation, DESIGN.md §6f) — the checks never execute
+        // events.
+        cfg.shards =
+            static_cast<int>(params.getInt("shards", cfg.shards));
+        return cfg;
+    };
+    for (const std::string &topo : topologies) {
+        std::string cfg_err = makeCfg(topo).validationError();
+        if (!cfg_err.empty()) {
+            std::fprintf(stderr, "cais_verify: invalid config: %s\n",
+                         cfg_err.c_str());
+            return 2;
+        }
     }
 
     // Static pass only: small scale factors keep graph construction
@@ -189,14 +217,19 @@ main(int argc, char **argv)
 
     std::vector<verify::VerifyResult> results;
     std::size_t total = 0;
-    for (const StrategySpec &spec : strategies) {
-        for (const Workload &w : workloads) {
-            verify::Options o = opts;
-            o.workload = w.name;
-            OpGraph graph = w.build(model);
-            results.push_back(
-                verify::verifyRun(spec, graph, cfg, o));
-            total += results.back().diagnostics.size();
+    for (const std::string &topo : topologies) {
+        RunConfig cfg = makeCfg(topo);
+        for (const StrategySpec &spec : strategies) {
+            for (const Workload &w : workloads) {
+                verify::Options o = opts;
+                o.workload = sweep_all && !topo.empty()
+                                 ? w.name + "@" + topo
+                                 : w.name;
+                OpGraph graph = w.build(model);
+                results.push_back(
+                    verify::verifyRun(spec, graph, cfg, o));
+                total += results.back().diagnostics.size();
+            }
         }
     }
 
