@@ -95,6 +95,9 @@ struct BenchArgs
             "seed", static_cast<std::int64_t>(cfg.seed)));
         cfg.tracePath = params.getString("trace", "");
         cfg.metricsPath = params.getString("metrics", "");
+        // --profile=<path> writes the causal critical-path profile
+        // (cais-profile-v1 JSON, DESIGN.md §6g).
+        cfg.profilePath = params.getString("profile", "");
         cfg.traceSampleCycles = static_cast<Cycle>(params.getInt(
             "trace_sample",
             static_cast<std::int64_t>(cfg.traceSampleCycles)));
@@ -169,9 +172,10 @@ uniquifyPath(const std::string &path, std::size_t index)
     return path.substr(0, dot) + suffix + path.substr(dot);
 }
 
-/** Run a queued grid on the default (CAIS_JOBS-sized) pool. Trace
- *  and metrics output paths are uniquified per job index so a grid
- *  bench run with --trace/--metrics does not overwrite itself. */
+/** Run a queued grid on the default (CAIS_JOBS-sized) pool. Trace,
+ *  metrics and profile output paths are uniquified per job index so
+ *  a grid bench run with --trace/--metrics/--profile does not
+ *  overwrite itself. */
 inline std::vector<RunResult>
 sweep(std::vector<SweepJob> jobs)
 {
@@ -179,6 +183,8 @@ sweep(std::vector<SweepJob> jobs)
         jobs[i].cfg.tracePath = uniquifyPath(jobs[i].cfg.tracePath, i);
         jobs[i].cfg.metricsPath =
             uniquifyPath(jobs[i].cfg.metricsPath, i);
+        jobs[i].cfg.profilePath =
+            uniquifyPath(jobs[i].cfg.profilePath, i);
     }
     return runSweep(jobs);
 }

@@ -102,10 +102,13 @@ class LegacyEventQueue
     std::uint64_t nextSeq = 0;
 };
 
-/** Payload sized like a Packet so captures exercise the same SBO. */
+/** Payload sized like a Packet (104 bytes, causal-profiler
+ *  provenance stamp included) so captures exercise the same SBO; no
+ *  profiler is attached, so the floors in CI also lock the cost of
+ *  the disabled profiling path. */
 struct HopPayload
 {
-    std::uint64_t words[11] = {};
+    std::uint64_t words[13] = {};
 };
 
 constexpr int kChains = 1024;

@@ -203,6 +203,10 @@ struct ShardCtx
 
     std::vector<ShardExecRec> execLog; ///< this window's executions
     std::vector<ShardOutRec> outbox;   ///< this window's deferred calls
+
+    /** Opaque per-shard observer state (the causal profiler's
+     *  private edge log); never read by the scheduler itself. */
+    void *userData = nullptr;
 };
 
 /** A deterministic discrete-event queue with nanosecond resolution. */

@@ -149,7 +149,8 @@ MetricSnapshot::writeJson(JsonWriter &w) const
                 .field("max", v.max)
                 .field("p50", v.p50)
                 .field("p90", v.p90)
-                .field("p99", v.p99);
+                .field("p99", v.p99)
+                .field("p999", v.p999);
             break;
           case MetricKind::timeSeries:
             w.field("kind", "timeseries")
@@ -213,6 +214,18 @@ MetricRegistry::addTimeSeries(const std::string &path,
     Slot s;
     s.kind = MetricKind::timeSeries;
     s.obj = t;
+    insert(path, std::move(s));
+}
+
+void
+MetricRegistry::addTimeSeriesFn(
+    const std::string &path, Cycle bin_width,
+    std::function<std::vector<double>()> reader)
+{
+    Slot s;
+    s.kind = MetricKind::timeSeries;
+    s.series = std::move(reader);
+    s.seriesBinWidth = bin_width;
     insert(path, std::move(s));
 }
 
@@ -281,10 +294,16 @@ MetricRegistry::snapshot() const
             v.p50 = h->percentile(0.50);
             v.p90 = h->percentile(0.90);
             v.p99 = h->percentile(0.99);
+            v.p999 = h->percentile(0.999);
             v.value = static_cast<double>(v.count);
             break;
           }
           case MetricKind::timeSeries: {
+            if (slot.series) {
+                v.binWidth = slot.seriesBinWidth;
+                v.bins = slot.series();
+                break;
+            }
             const auto *t = static_cast<const TimeSeries *>(slot.obj);
             v.binWidth = t->binWidth();
             v.bins = t->data();

@@ -71,9 +71,10 @@ struct MetricValue
     double mean = 0.0;
     double min = 0.0;
     double max = 0.0;
-    double p50 = 0.0; ///< histogram only
-    double p90 = 0.0; ///< histogram only
-    double p99 = 0.0; ///< histogram only
+    double p50 = 0.0;  ///< histogram only
+    double p90 = 0.0;  ///< histogram only
+    double p99 = 0.0;  ///< histogram only
+    double p999 = 0.0; ///< histogram only
 
     // time series
     Cycle binWidth = 0;
@@ -137,6 +138,15 @@ class MetricRegistry
     void addHistogram(const std::string &path, const Histogram *h);
     void addTimeSeries(const std::string &path, const TimeSeries *t);
 
+    /**
+     * Computed binned series, read at snapshot time (for series that
+     * are derived from windowed state rather than held in a
+     * TimeSeries object, e.g. the fabric utilization-over-time
+     * series of Fig. 16).
+     */
+    void addTimeSeriesFn(const std::string &path, Cycle bin_width,
+                         std::function<std::vector<double>()> reader);
+
     /** Computed scalar, read at snapshot time. */
     void addGauge(const std::string &path,
                   std::function<double()> reader);
@@ -164,6 +174,8 @@ class MetricRegistry
         const void *obj = nullptr; ///< stats-object kinds
         std::function<double()> gauge;
         std::function<std::uint64_t()> gaugeU64;
+        std::function<std::vector<double>()> series;
+        Cycle seriesBinWidth = 0;
     };
 
     void insert(const std::string &path, Slot slot);

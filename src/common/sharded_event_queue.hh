@@ -68,6 +68,14 @@ class ShardedEventQueue
         return *queues[static_cast<std::size_t>(i)];
     }
 
+    /** Install shard @p i's opaque observer state (the profiler's
+     *  per-shard edge log); reachable from the shard's thread via
+     *  EventQueue::threadShardCtx()->userData. */
+    void setShardUserData(int i, void *p)
+    {
+        ctxs[static_cast<std::size_t>(i)]->userData = p;
+    }
+
     /**
      * Run the window loop until every shard drains (or the event
      * budget is exhausted, checked at barriers). Must be called from

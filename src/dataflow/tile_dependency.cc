@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "analysis/causal_profile.hh"
+#include "common/event_queue.hh"
 #include "common/log.hh"
 
 namespace cais
@@ -40,6 +42,17 @@ TileTracker::setRelevance(std::function<bool(GpuId, int)> rel)
 }
 
 void
+TileTracker::setProfiler(CausalProfiler *pr, int tracker_idx,
+                         EventQueue *eq)
+{
+    prof = pr;
+    profIdx = tracker_idx;
+    profEq = eq;
+    if (prof)
+        firstContribAt.assign(got.size(), ~Cycle{0});
+}
+
+void
 TileTracker::contribute(GpuId gpu, int tile, std::uint64_t bytes)
 {
     if (gpu < 0 || gpu >= gpus || tile < 0 || tile >= tiles)
@@ -48,11 +61,27 @@ TileTracker::contribute(GpuId gpu, int tile, std::uint64_t bytes)
     std::size_t i = index(gpu, tile);
     bool was_ready = got[i] >= need;
     got[i] += bytes;
+    if (prof && firstContribAt[i] == ~Cycle{0})
+        firstContribAt[i] = profEq->now();
     if (was_ready || got[i] < need)
         return;
 
     if (relevant[i])
         ++readyCount;
+
+    std::uint64_t tile_node = 0;
+    if (prof) {
+        // The tile accumulated contributions from the first arrival
+        // until this crossing one made it ready; whoever delivered the
+        // crossing bytes (the active cause) is the enabling event.
+        tile_node = profnode::tile(profIdx, gpu, tile);
+        prof->record(tile_node, WaitClass::depWait, firstContribAt[i],
+                     profEq->now());
+    }
+    // Waiters (consumer-TB dispatch, kernel readiness) are enabled by
+    // this tile becoming ready, not directly by the landing write.
+    CausalProfiler::ScopedCause sc(prof, tile_node,
+                                   prof ? profEq->now() : 0);
 
     std::uint64_t k = static_cast<std::uint64_t>(i);
     auto it = waiters.find(k);

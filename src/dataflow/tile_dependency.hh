@@ -28,6 +28,9 @@
 namespace cais
 {
 
+class CausalProfiler;
+class EventQueue;
+
 /** Readiness tracker for one tensor across GPUs. */
 class TileTracker
 {
@@ -45,6 +48,16 @@ class TileTracker
      * the home GPU of each tile.
      */
     void setRelevance(std::function<bool(GpuId, int)> relevant);
+
+    /**
+     * Attach the causal profiler (DESIGN.md §6g). @p tracker_idx is
+     * this tracker's dense index in System creation order (the
+     * profile-node id space); @p eq supplies timestamps. Readiness
+     * crossings then record tile wait-for edges and hand the tile
+     * node to waiter callbacks as their enabling cause.
+     */
+    void setProfiler(CausalProfiler *pr, int tracker_idx,
+                     EventQueue *eq);
 
     /** Add @p bytes toward (gpu, tile). */
     void contribute(GpuId gpu, int tile, std::uint64_t bytes);
@@ -94,6 +107,12 @@ class TileTracker
     std::unordered_map<std::uint64_t,
                        std::vector<std::function<void()>>> waiters;
     std::vector<std::function<void()>> completeWaiters;
+
+    CausalProfiler *prof = nullptr;
+    EventQueue *profEq = nullptr;
+    int profIdx = 0;
+    /** First-contribution cycle per (gpu, tile); ~0 = none yet. */
+    std::vector<Cycle> firstContribAt;
 };
 
 /** Dispatches landing remote data to the owning tracker's tiles. */

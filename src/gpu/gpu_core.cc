@@ -26,6 +26,7 @@ GpuCore::tbContext(int num_gpus)
     ctx.rng = &rngImpl;
     ctx.jitterSigma = p.jitterSigma;
     ctx.numGpus = num_gpus;
+    ctx.prof = prof;
     return ctx;
 }
 

@@ -43,6 +43,14 @@ class GpuCore
     /** Context handed to thread blocks executing on this GPU. */
     TbRunContext tbContext(int num_gpus);
 
+    /** Attach the causal profiler (DESIGN.md §6g) to this GPU's hub,
+     *  HBM channel, and future TB contexts. */
+    void setProfiler(CausalProfiler *pr)
+    {
+        prof = pr;
+        hubImpl.setProfiler(pr);
+    }
+
     /** Register every sub-component under prefix.{hub,hbm,sched,sync}. */
     void
     registerMetrics(MetricRegistry &reg, const std::string &prefix) const
@@ -65,6 +73,7 @@ class GpuCore
     SmPool smPool;
     TbScheduler sched;
     Rng rngImpl;
+    CausalProfiler *prof = nullptr;
 };
 
 } // namespace cais

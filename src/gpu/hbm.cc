@@ -1,5 +1,6 @@
 #include "gpu/hbm.hh"
 
+#include "analysis/causal_profile.hh"
 #include "common/log.hh"
 
 namespace cais
@@ -24,6 +25,13 @@ HbmModel::access(std::uint64_t bytes_, EventQueue::Callback done)
     busy += ser;
     bytes.inc(bytes_);
     accesses.inc();
+    if (prof)
+        // Queueing behind earlier accesses plus serialization plus
+        // latency, caused by whatever scheduled this access (the
+        // requesting packet's delivery, a hub job).
+        prof->record(profNode_, WaitClass::hbm, now,
+                     start + ser + lat, prof->causeNode(),
+                     prof->causeTime());
     eq.schedule(start + ser + lat, std::move(done));
 }
 

@@ -18,11 +18,28 @@
 namespace cais
 {
 
+class CausalProfiler;
+
 /** A single bandwidth-serialized memory channel with fixed latency. */
 class HbmModel : public Probe
 {
   public:
     HbmModel(EventQueue &eq, double bytes_per_cycle, Cycle latency);
+
+    /**
+     * Attach the causal profiler (DESIGN.md §6g); @p node is this
+     * channel's profile-graph node. access() then records an HBM
+     * wait edge itself — the completion time is known at schedule
+     * time — so callers' completion closures stay capture-free.
+     */
+    void setProfiler(CausalProfiler *pr, std::uint64_t node)
+    {
+        prof = pr;
+        profNode_ = node;
+    }
+
+    /** This channel's profile-graph node (0 when unprofiled). */
+    std::uint64_t profNode() const { return profNode_; }
 
     /** Schedule an access of @p bytes; @p done fires at completion. */
     void access(std::uint64_t bytes, EventQueue::Callback done);
@@ -48,6 +65,8 @@ class HbmModel : public Probe
     SerDivider serDiv;
     Cycle lat;
     Cycle busyUntil = 0;
+    CausalProfiler *prof = nullptr;
+    std::uint64_t profNode_ = 0;
 
     Counter bytes;
     Counter accesses;

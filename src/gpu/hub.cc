@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/causal_profile.hh"
 #include "common/log.hh"
 #include "gpu/synchronizer.hh"
 
@@ -22,6 +23,13 @@ GpuHub::GpuHub(EventQueue &eq_, Fabric &fabric_, GpuId gpu_,
         fabric.uplink(gpu, i).setDequeueCallback(
             [this](int) { onWireInjected(); });
     }
+}
+
+void
+GpuHub::setProfiler(CausalProfiler *pr)
+{
+    prof = pr;
+    mem.setProfiler(pr, profnode::hbm(gpu));
 }
 
 std::vector<HubJob::Chunk>
@@ -45,6 +53,7 @@ GpuHub::submit(std::unique_ptr<HubJob> job)
     std::uint64_t id = nextJobId++;
     JobState &js = jobs[id];
     js.job = std::move(job);
+    js.submitAt = eq.now();
     js.awaitingInject = static_cast<int>(js.job->chunks.size());
 
     for (const auto &c : js.job->chunks) {
@@ -238,6 +247,19 @@ GpuHub::injectChunk(std::uint64_t job_id, JobState &js,
     ++inflightChunks;
     injected.inc();
     wireOrder.push_back(job_id);
+    if (prof) {
+        // Injection-backpressure edge: the chunk sat behind the hub's
+        // in-flight window since job submission; provenance points at
+        // the submitting TB so the walk telescopes into compute.
+        prof->record(profnode::hubQueue(gpu),
+                     WaitClass::hubInjection, js.submitAt, eq.now(),
+                     profnode::tb(js.job->kernel, gpu, js.job->tb),
+                     js.submitAt);
+        CausalProfiler::ScopedCause sc(
+            prof, profnode::hubQueue(gpu), eq.now());
+        fabric.sendFromGpu(gpu, std::move(pkt));
+        return;
+    }
     fabric.sendFromGpu(gpu, std::move(pkt));
 }
 
@@ -297,6 +319,9 @@ GpuHub::serveRead(Packet &&pkt)
     resp.issuerGpu = pkt.issuerGpu;
 
     mem.access(pkt.reqBytes, [this, r = std::move(resp)]() mutable {
+        // The HBM read enables the response send.
+        CausalProfiler::ScopedCause sc(prof, mem.profNode(),
+                                       eq.now());
         wireOrder.push_back(0);
         fabric.sendFromGpu(gpu, std::move(r));
     });
@@ -314,6 +339,9 @@ GpuHub::landWrite(Packet &&pkt)
 
     mem.access(bytes,
                [this, addr, bytes, contribs, need_ack, acker, cookie] {
+        // The HBM write enables tile readiness and the ack.
+        CausalProfiler::ScopedCause sc(prof, mem.profNode(),
+                                       eq.now());
         if (arrivals)
             arrivals->onDataArrival(gpu, addr, bytes, contribs);
         if (need_ack && acker != invalidId && acker != gpu) {

@@ -33,6 +33,7 @@
 namespace cais
 {
 
+class CausalProfiler;
 class Synchronizer;
 
 /** Sink for remote data landing in this GPU's memory. */
@@ -90,6 +91,10 @@ class GpuHub : public PacketSink, public Probe
     void setArrivalHandler(DataArrivalHandler *h) { arrivals = h; }
     void setSynchronizer(Synchronizer *s) { synchronizer = s; }
 
+    /** Attach the causal profiler (DESIGN.md §6g): records injection
+     *  backpressure edges and wires the HBM channel's node. */
+    void setProfiler(CausalProfiler *pr);
+
     /** Split @p op into chunks (helper for job construction). */
     std::vector<HubJob::Chunk> chunkify(const RemoteOp &op) const;
 
@@ -138,6 +143,7 @@ class GpuHub : public PacketSink, public Probe
         int awaitingInject = 0;  ///< chunks not yet on the wire
         int awaitingReply = 0;   ///< responses/acks outstanding
         bool injectedAll = false;
+        Cycle submitAt = 0;      ///< profiler: injection-wait origin
     };
 
     void pump();
@@ -165,6 +171,7 @@ class GpuHub : public PacketSink, public Probe
 
     DataArrivalHandler *arrivals = nullptr;
     Synchronizer *synchronizer = nullptr;
+    CausalProfiler *prof = nullptr;
 
     std::unordered_map<std::uint64_t, JobState> jobs;
     std::uint64_t nextJobId = 1;

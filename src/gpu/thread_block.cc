@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/causal_profile.hh"
 #include "common/log.hh"
 
 namespace cais
@@ -27,9 +28,16 @@ TbRun::start()
     afterLaunchSync();
 }
 
+std::uint64_t
+TbRun::profNode() const
+{
+    return profnode::tb(kernel.id, gpuId, idx);
+}
+
 void
 TbRun::afterLaunchSync()
 {
+    startAt = ctx.eq->now();
     // Compute and pull-mode communication run concurrently inside the
     // TB (double-buffered tiles); the TB advances when both are done.
     double mult = 1.0;
@@ -63,8 +71,16 @@ TbRun::afterLaunchSync()
         // TBs reach the same point; independent instructions (the
         // compute event above) keep issuing meanwhile. Participants
         // are the G-1 requesters (the home GPU reads locally).
+        Cycle req_at = ctx.eq->now();
         ctx.sync->requestSync(tb.group, SyncPhase::preAccess,
-                              ctx.numGpus - 1, [this] { issueLoads(); });
+                              ctx.numGpus - 1, [this, req_at] {
+            // Barrier-wait edge; the release delivery (the active
+            // cause) hops the walk into the switch sync table.
+            if (ctx.prof)
+                ctx.prof->record(profNode(), WaitClass::syncBarrier,
+                                 req_at, ctx.eq->now());
+            issueLoads();
+        });
     } else {
         issueLoads();
     }
@@ -76,6 +92,7 @@ TbRun::afterLaunchSync()
 void
 TbRun::issueLoads()
 {
+    loadsIssueAt = ctx.eq->now();
     auto job = std::make_unique<HubJob>();
     job->kernel = kernel.id;
     job->tb = idx;
@@ -93,6 +110,12 @@ void
 TbRun::onComputeDone()
 {
     computeDone = true;
+    // SM-occupancy edge: the TB computed from dispatch to now; the
+    // self-provenance continues the walk at dispatch time, where the
+    // scheduler's edge takes over.
+    if (ctx.prof)
+        ctx.prof->record(profNode(), WaitClass::smCompute, startAt,
+                         ctx.eq->now(), profNode(), startAt);
     maybeAdvance();
 }
 
@@ -100,6 +123,11 @@ void
 TbRun::onLoadsDone()
 {
     loadsDone = true;
+    // Load-wait edge: zero-length at the completing delivery (the
+    // active cause), hopping the walk into the fabric.
+    if (ctx.prof)
+        ctx.prof->record(profNode(), WaitClass::depWait, loadsIssueAt,
+                         ctx.eq->now());
     maybeAdvance();
 }
 
@@ -109,6 +137,11 @@ TbRun::maybeAdvance()
     if (!computeDone || !loadsDone || advanced)
         return;
     advanced = true;
+
+    // Everything the advance triggers — tile readiness, push jobs,
+    // retirement — is caused by this TB reaching its advance point.
+    CausalProfiler::ScopedCause sc(ctx.prof, profNode(),
+                                   ctx.eq->now());
 
     // The output tile is now locally available.
     if (onProduced)
@@ -135,9 +168,18 @@ TbRun::issuePushes()
         // Align the first red.cais across the G-1 contributing GPUs
         // (the home GPU reduces its partial locally).
         pushSynced = true;
+        Cycle req_at = ctx.eq->now();
         ctx.sync->requestSync(tb.group, SyncPhase::preAccess,
-                              ctx.numGpus - 1,
-                              [this] { issuePushes(); });
+                              ctx.numGpus - 1, [this, req_at] {
+            if (ctx.prof)
+                ctx.prof->record(profNode(), WaitClass::syncBarrier,
+                                 req_at, ctx.eq->now());
+            // The release resumes this TB: it owns what follows
+            // (push jobs, retirement).
+            CausalProfiler::ScopedCause sc(ctx.prof, profNode(),
+                                           ctx.eq->now());
+            issuePushes();
+        });
         return;
     }
 

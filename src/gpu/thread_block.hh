@@ -39,6 +39,9 @@ struct TbRunContext
     Rng *rng = nullptr;
     double jitterSigma = 0.0;
     int numGpus = 0;
+
+    /** Causal profiler (DESIGN.md §6g); null when not profiling. */
+    CausalProfiler *prof = nullptr;
 };
 
 /** One in-flight thread block. */
@@ -76,6 +79,9 @@ class TbRun
     void issuePushes();
     void finish();
 
+    /** This TB's profile-graph node. */
+    std::uint64_t profNode() const;
+
     CAIS_OWNED_BY_DOMAIN(host);
 
     TbRunContext ctx;
@@ -91,6 +97,9 @@ class TbRun
     bool loadsDone = false;
     bool advanced = false;
     bool pushSynced = false;
+
+    Cycle startAt = 0;      ///< profiler: compute-edge origin
+    Cycle loadsIssueAt = 0; ///< profiler: load-wait origin
 };
 
 } // namespace cais

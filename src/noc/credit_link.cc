@@ -1,5 +1,6 @@
 #include "noc/credit_link.hh"
 
+#include "analysis/causal_profile.hh"
 #include "common/log.hh"
 
 namespace cais
@@ -31,6 +32,14 @@ CreditLink::send(Packet &&pkt)
     int vc = static_cast<int>(pkt.vc);
     if (vc < 0 || vc >= numVcs())
         panic("link %s: bad VC %d", linkName.c_str(), vc);
+    if (prof) {
+        // Provenance stamp: who caused this send, and when it was
+        // enqueued (the sender's ScopedCause runs in this event, so
+        // cause time == now).
+        pkt.profSrc = prof->causeNode();
+        pkt.profT = eq.now();
+        pkt.profCreditStalled = false;
+    }
     queues[static_cast<std::size_t>(vc)].push_back(std::move(pkt));
     ++queuedTotal;
     tryIssue();
@@ -108,8 +117,16 @@ CreditLink::tryIssue()
         auto idx = static_cast<std::size_t>(i);
         return !queues[idx].empty() && creditCount[idx] > 0;
     });
-    if (vc < 0)
+    if (vc < 0) {
+        // Every non-empty queue is blocked on credits (the serializer
+        // is idle here); mark the heads so their queue-wait edge is
+        // classed as a credit stall rather than wire occupancy.
+        if (prof)
+            for (auto &q : queues)
+                if (!q.empty())
+                    q.front().profCreditStalled = true;
         return;
+    }
 
     auto idx = static_cast<std::size_t>(vc);
     Packet pkt = std::move(queues[idx].front());
@@ -140,6 +157,19 @@ CreditLink::tryIssue()
     // into the deliver event (no allocation: InlineEvent holds it).
     Cycle deliver_at = start + ser + lat;
 
+    if (prof) {
+        // Queue-wait edge (zero-length when the packet issued the
+        // cycle it was sent): hops the walk back to the sender-side
+        // cause. Then the wire-occupancy edge covering ser + lat.
+        prof->record(profNode_,
+                     pkt.profCreditStalled
+                         ? WaitClass::creditStall
+                         : WaitClass::linkSerialization,
+                     pkt.profT, start, pkt.profSrc, pkt.profT);
+        prof->record(profNode_, WaitClass::linkSerialization, start,
+                     deliver_at, profNode_, start);
+    }
+
     if (deliver_at == busyUntil && !wakeScheduled && !splitShards()) {
         // Zero-latency link: the drain wake would land on the same
         // cycle directly after the delivery; fold it into one event.
@@ -148,7 +178,11 @@ CreditLink::tryIssue()
         // apply when both ends share a queue.)
         wakeScheduled = true;
         eq.schedule(deliver_at, [this, p = std::move(pkt), vc]() mutable {
-            sink->acceptPacket(std::move(p), this, vc);
+            {
+                CausalProfiler::ScopedCause sc(prof, profNode_,
+                                               eq.now());
+                sink->acceptPacket(std::move(p), this, vc);
+            }
             wakeScheduled = false;
             tryIssue();
         });
@@ -157,6 +191,10 @@ CreditLink::tryIssue()
 
     // Delivery executes on the sink's shard (== eq when co-located).
     sinkEq->schedule(deliver_at, [this, p = std::move(pkt), vc]() mutable {
+        // The delivery is the enabling cause of whatever the sink
+        // records downstream (hub completions, TB wakeups).
+        CausalProfiler::ScopedCause sc(prof, profNode_,
+                                       sinkEq->now());
         sink->acceptPacket(std::move(p), this, vc);
     });
 

@@ -29,6 +29,7 @@
 namespace cais
 {
 
+class CausalProfiler;
 class CreditLink;
 
 /** Anything that terminates a link: a switch input port or a GPU. */
@@ -84,6 +85,22 @@ class CreditLink : public Probe
 
     /** Notified with the VC index whenever a packet starts the wire. */
     void setDequeueCallback(std::function<void(int)> cb);
+
+    /**
+     * Attach the causal profiler (DESIGN.md §6g); @p node is this
+     * link's profile-graph node. Hooks stamp packet provenance at
+     * send(), record queue-wait and wire-occupancy edges at issue,
+     * and tag the delivery event as the downstream enabling cause.
+     * Never schedules events: profiled runs are bit-identical.
+     */
+    void setProfiler(CausalProfiler *pr, std::uint64_t node)
+    {
+        prof = pr;
+        profNode_ = node;
+    }
+
+    /** This link's profile-graph node (0 when unprofiled). */
+    std::uint64_t profNode() const { return profNode_; }
 
     /** Enqueue a packet on its VC; serialization starts when eligible. */
     void send(Packet &&pkt);
@@ -145,6 +162,8 @@ class CreditLink : public Probe
         pendingCredits;
 
     RoundRobinArbiter arb;
+    CausalProfiler *prof = nullptr;
+    std::uint64_t profNode_ = 0;
     PacketSink *sink = nullptr;
     int tag_ = -1;
     std::function<void(int)> dequeueCb;

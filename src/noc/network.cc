@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/causal_profile.hh"
 #include "common/log.hh"
 #include "common/sharded_event_queue.hh"
 
@@ -395,6 +396,32 @@ Fabric::tierDownlink(int spine, int leaf)
 {
     return *tierDown[static_cast<std::size_t>(spine)]
                     [static_cast<std::size_t>(leaf)];
+}
+
+void
+Fabric::setProfiler(CausalProfiler *pr)
+{
+    // Containers are walked in forEachLink visit order, so the dense
+    // link ids — and with them every profile-graph node and the
+    // merged edge log — are identical across runs and shard counts.
+    auto attach = [pr](CreditLink &l) {
+        l.setProfiler(pr,
+                      profnode::link(pr->addLink(l.name())));
+    };
+    for (auto &row : up)
+        for (auto &l : row)
+            attach(*l);
+    for (auto &row : down)
+        for (auto &l : row)
+            attach(*l);
+    for (auto &row : tierUp)
+        for (auto &l : row)
+            attach(*l);
+    for (auto &row : tierDown)
+        for (auto &l : row)
+            attach(*l);
+    for (auto &sw : switches)
+        sw->setProfiler(pr);
 }
 
 void

@@ -24,6 +24,7 @@
 namespace cais
 {
 
+class CausalProfiler;
 class ShardedEventQueue;
 
 /** A fully wired multi-GPU fabric. */
@@ -73,6 +74,14 @@ class Fabric
 
     /** Attach the GPU's packet sink to all its downlinks. */
     void attachGpu(GpuId g, PacketSink *sink);
+
+    /**
+     * Attach the causal profiler (DESIGN.md §6g) to every link and
+     * switch chip. Links get dense profile-node ids in forEachLink
+     * visit order (deterministic across runs and shard counts), with
+     * their names registered for the artifact/flame-lane output.
+     */
+    void setProfiler(CausalProfiler *pr);
 
     /**
      * Inject a packet from GPU @p g. The serving switch is chosen

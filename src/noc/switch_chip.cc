@@ -1,5 +1,6 @@
 #include "noc/switch_chip.hh"
 
+#include "analysis/causal_profile.hh"
 #include "common/log.hh"
 
 namespace cais
@@ -47,6 +48,11 @@ SwitchChip::acceptPacket(Packet &&pkt, CreditLink *from, int vc)
         inPorts[static_cast<std::size_t>(port)].link != from)
         panic("switch %d: packet from unknown link", switchId);
     auto &in = inPorts[static_cast<std::size_t>(port)];
+    if (prof)
+        // Re-stamp as the ingress-arrival time (the send-side cause
+        // in profT was consumed by the link's queue-wait edge); the
+        // VC-arbitration edge at processHead covers [arrival, serve].
+        pkt.profT = eq.now();
     in.vcs[static_cast<std::size_t>(vc)].push(std::move(pkt));
     if (!in.busy[static_cast<std::size_t>(vc)]) {
         in.busy[static_cast<std::size_t>(vc)] = true;
@@ -72,11 +78,25 @@ SwitchChip::processHead(int port, int vc)
 
     Packet &head = buf.front();
 
+    // VC-arbitration edge (recorded only when the head actually
+    // leaves the buffer, so head-of-line parking folds into one
+    // edge): the head sat in the ingress VC from arrival (profT)
+    // until this service event. The in-link node stands for the
+    // ingress port on the critical path; the scoped cause hands it
+    // to everything this service triggers downstream.
+    std::uint64_t in_node = prof ? in.link->profNode() : 0;
+
     if (handler && handler->wants(head)) {
+        if (prof)
+            prof->record(in_node, WaitClass::vcArbitration,
+                         head.profT, eq.now(), in_node, head.profT);
         Packet pkt = buf.pop();
         in.link->returnCredit(vc);
         consumed.inc();
-        handler->handlePacket(std::move(pkt));
+        {
+            CausalProfiler::ScopedCause sc(prof, in_node, eq.now());
+            handler->handlePacket(std::move(pkt));
+        }
         scheduleProcess(port, vc, p.perPacketProcess);
         return;
     }
@@ -100,10 +120,16 @@ SwitchChip::processHead(int port, int vc)
         return;
     }
 
+    if (prof)
+        prof->record(in_node, WaitClass::vcArbitration, head.profT,
+                     eq.now(), in_node, head.profT);
     Packet pkt = buf.pop();
     in.link->returnCredit(vc);
     forwarded.inc();
-    out->enqueue(std::move(pkt));
+    {
+        CausalProfiler::ScopedCause sc(prof, in_node, eq.now());
+        out->enqueue(std::move(pkt));
+    }
     scheduleProcess(port, vc, p.perPacketProcess);
 }
 

@@ -29,6 +29,8 @@
 namespace cais
 {
 
+class CausalProfiler;
+
 /** Tunables of one switch chip. */
 struct SwitchParams
 {
@@ -77,6 +79,13 @@ class SwitchChip : public PacketSink, public Probe
     void attachDownlink(GpuId g, CreditLink *to_gpu);
 
     void setComputeHandler(SwitchComputeHandler *h) { handler = h; }
+
+    /** Attach the causal profiler (DESIGN.md §6g); hooks stamp
+     *  ingress-arrival times and record VC-arbitration edges. */
+    void setProfiler(CausalProfiler *pr) { prof = pr; }
+
+    /** The attached profiler, read by the in-switch compute units. */
+    CausalProfiler *profiler() const { return prof; }
 
     /**
      * Install the output-port lookup for forwarded and unit-generated
@@ -169,6 +178,7 @@ class SwitchChip : public PacketSink, public Probe
     std::vector<std::vector<std::vector<std::pair<int, int>>>> waiting;
 
     SwitchComputeHandler *handler = nullptr;
+    CausalProfiler *prof = nullptr;
     std::function<int(const Packet &)> router;
 
     PacketIdAllocator ownIds;

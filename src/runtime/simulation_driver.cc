@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "analysis/causal_profile.hh"
 #include "analysis/deep_trace.hh"
 #include "analysis/report.hh"
 #include "analysis/trace.hh"
@@ -183,6 +184,13 @@ runGraph(const StrategySpec &spec, const OpGraph &graph,
                 [&probe](Cycle at) { probe.sample(at); });
     }
 
+    // Causal profiler: attach before lowering so tile trackers
+    // created by the strategy are wired as they are defined.
+    bool profiling = !cfg.profilePath.empty();
+    CausalProfiler prof;
+    if (profiling)
+        sys.setProfiler(&prof);
+
     GraphLowering lowering(sys, graph, spec.opts);
     lowering.lower();
 
@@ -247,8 +255,13 @@ runGraph(const StrategySpec &spec, const OpGraph &graph,
     r.upUtil = sys.fabric().dirUtilization(true, 0, end);
     r.dnUtil = sys.fabric().dirUtilization(false, 0, end);
     r.gpuUtil = sys.gpuUtilization();
-    r.utilSeries = sys.fabric().utilizationSeries(0, end);
-    r.utilBinWidth = cfg.utilBinWidth;
+    // The Fig. 16 series now lives in the registry (timeSeries kind),
+    // so the harvested copy and the report's metrics section agree by
+    // construction.
+    if (const MetricValue *ts = snap.find("fabric.utilSeries")) {
+        r.utilSeries = ts->bins;
+        r.utilBinWidth = ts->binWidth;
+    }
 
     // One pass over the kernels builds the timeline and (when
     // tracing) the per-GPU kernel spans.
@@ -276,6 +289,36 @@ runGraph(const StrategySpec &spec, const OpGraph &graph,
             }
         }
         r.kernels.push_back(std::move(t));
+    }
+
+    if (profiling) {
+        for (std::size_t k = 0; k < sys.numKernels(); ++k)
+            prof.setName(
+                profnode::kernel(static_cast<KernelId>(k)),
+                sys.kernel(static_cast<KernelId>(k)).name);
+        prof.finalize();
+        // Walk backward from the makespan-defining event: the kernel
+        // that finished last (ties break toward the lowest id, which
+        // is deterministic across shard counts).
+        KernelId crit = invalidId;
+        Cycle crit_finish = 0;
+        for (std::size_t k = 0; k < sys.numKernels(); ++k) {
+            Cycle f = sys.kernelFinishTime(static_cast<KernelId>(k));
+            if (f > crit_finish) {
+                crit_finish = f;
+                crit = static_cast<KernelId>(k);
+            }
+        }
+        Attribution attr = prof.analyze(
+            crit != invalidId ? profnode::kernel(crit)
+                              : profnode::root(),
+            r.makespan);
+        if (tracing)
+            prof.emitFlameLanes(tc, 2, attr);
+        if (!prof.writeFile(cfg.profilePath, attr, spec.name,
+                            workload_name))
+            warn("could not write profile to %s",
+                 cfg.profilePath.c_str());
     }
 
     if (tracing) {

@@ -92,6 +92,15 @@ struct RunConfig
     std::string metricsPath;
 
     /**
+     * When non-empty, the causal critical-path profile
+     * (cais-profile-v1 JSON, analysis/causal_profile.hh) is written
+     * here. Hooks only append to out-of-band edge logs, so a
+     * profiled run is bit-identical to an unprofiled one, at any
+     * shards= setting.
+     */
+    std::string profilePath;
+
+    /**
      * Counter-track sample period for the deep trace, in cycles. The
      * sampler runs outside the event stream (it never schedules
      * events and is not counted in eventsExecuted), so tracing is

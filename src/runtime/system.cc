@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "analysis/causal_profile.hh"
 #include "common/log.hh"
 
 namespace cais
@@ -222,9 +223,31 @@ System::defineTensor(std::string name, TensorLayout layout,
         break;
     }
 
+    if (prof)
+        tr->setProfiler(prof, t->tracker, &queue);
     trackers.push_back(std::move(tr));
     tensors.push_back(std::move(t));
     return *tensors.back();
+}
+
+void
+System::setProfiler(CausalProfiler *pr)
+{
+    prof = pr;
+    if (!pr)
+        return;
+    fab->setProfiler(pr);
+    for (auto &g : gpus)
+        g->setProfiler(pr);
+    for (std::size_t i = 0; i < trackers.size(); ++i)
+        trackers[i]->setProfiler(pr, static_cast<int>(i), &queue);
+    if (shq) {
+        // One private edge log per shard; finalize() merges them back
+        // into the canonical sequential order.
+        pr->setNumShards(shq->numShards());
+        for (int s = 0; s < shq->numShards(); ++s)
+            shq->setShardUserData(s, pr->shardLogSlot(s));
+    }
 }
 
 Addr
@@ -344,9 +367,26 @@ System::tryLaunch(KernelState &ks)
             delay += static_cast<Cycle>(skewRng.uniform(
                 0.0, static_cast<double>(cfg.gpu.maxStartSkew)));
         }
-        queue.scheduleAfter(delay, [this, &ks, g] {
-            launchOnGpu(ks, g);
-        });
+        if (prof) {
+            // Launch edge per GPU: overhead + skew between the kernel
+            // becoming runnable and its grid hitting this GPU's
+            // scheduler. The enabling cause (the finishing dependency
+            // kernel) is active now, not inside the delayed closure.
+            std::uint64_t csrc = prof->causeNode();
+            Cycle ct = prof->causeTime();
+            queue.scheduleAfter(delay, [this, &ks, g, csrc, ct] {
+                prof->record(profnode::kernel(ks.desc.id),
+                             WaitClass::launch, ks.startAt,
+                             queue.now(), csrc, ct);
+                CausalProfiler::ScopedCause sc(
+                    prof, profnode::kernel(ks.desc.id), queue.now());
+                launchOnGpu(ks, g);
+            });
+        } else {
+            queue.scheduleAfter(delay, [this, &ks, g] {
+                launchOnGpu(ks, g);
+            });
+        }
     }
 }
 
@@ -370,10 +410,11 @@ System::enqueueTb(KernelState &ks, GpuId g, int tb_idx)
                      [static_cast<std::size_t>(tb_idx)];
 
     auto dispatch = [this, &ks, g, tb_idx] {
+        Cycle ready_at = queue.now();
         gpu(g).scheduler().enqueue(
             ks.desc.smFrom, ks.desc.smTo, ks.desc.schedPriority,
-            [this, &ks, g, tb_idx](int slot) {
-            dispatchTb(ks, g, tb_idx, slot);
+            [this, &ks, g, tb_idx, ready_at](int slot) {
+            dispatchTb(ks, g, tb_idx, slot, ready_at);
         });
     };
 
@@ -413,11 +454,20 @@ System::enqueueTb(KernelState &ks, GpuId g, int tb_idx)
 }
 
 void
-System::dispatchTb(KernelState &ks, GpuId g, int tb_idx, int slot)
+System::dispatchTb(KernelState &ks, GpuId g, int tb_idx, int slot,
+                   Cycle ready_at)
 {
     const TbDesc &tb =
         ks.desc.grids[static_cast<std::size_t>(g)]
                      [static_cast<std::size_t>(tb_idx)];
+
+    // Occupancy-stall edge: the TB was runnable from ready_at but only
+    // now won a CTA slot; the enabling cause is whatever is active —
+    // the readiness event itself (immediate grant) or the retiring TB
+    // whose slot this one inherits (scheduler pump).
+    if (prof)
+        prof->record(profnode::tb(ks.desc.id, g, tb_idx),
+                     WaitClass::schedulerIdle, ready_at, queue.now());
 
     auto run = std::make_unique<TbRun>(
         gpu(g).tbContext(numGpus()), g, ks.desc, tb, tb_idx,
@@ -482,6 +532,15 @@ System::maybeFinishKernel(KernelState &ks)
     ks.finishAt = queue.now();
     if (--unfinishedKernels == 0)
         finishedAt = queue.now();
+
+    // Kernel-finish edge: the kernel spanned [start, finish]; the last
+    // retiring TB or completing tile (the active cause) closed it, and
+    // dependent launches are caused by this kernel finishing.
+    if (prof)
+        prof->record(profnode::kernel(ks.desc.id), WaitClass::depWait,
+                     ks.startAt, ks.finishAt);
+    CausalProfiler::ScopedCause sc(prof, profnode::kernel(ks.desc.id),
+                                   ks.finishAt);
 
     for (KernelId d : ks.dependents) {
         KernelState &dep = *kernels.at(static_cast<std::size_t>(d));
@@ -629,6 +688,13 @@ System::registerMetrics(MetricRegistry &reg) const
     for (std::size_t g = 0; g < gpus.size(); ++g)
         gpus[g]->registerMetrics(reg, "gpu" + std::to_string(g));
     fab->registerMetrics(reg, "link");
+    // Fig. 16 utilization-over-time series, computed over the run
+    // window at snapshot time so it appears in run reports (and
+    // therefore in cais_report summaries and diffs).
+    reg.addTimeSeriesFn("fabric.utilSeries", cfg.fabric.utilBinWidth,
+                        [this] {
+        return fab->utilizationSeries(0, finishedAt ? finishedAt : 1);
+    });
 }
 
 void

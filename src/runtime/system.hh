@@ -32,6 +32,8 @@
 namespace cais
 {
 
+class CausalProfiler;
+
 /** Tensor placement across the fabric. */
 enum class TensorLayout : std::uint8_t
 {
@@ -198,6 +200,17 @@ class System : public DataArrivalHandler
     /** Attach @p h to every switch's merge and sync engines. */
     void setTraceHooks(SwitchTraceHooks *h);
 
+    /**
+     * Attach the causal wait-for profiler (DESIGN.md §6g) to every
+     * layer: fabric links and switches, GPU hubs/HBM/TB contexts,
+     * tile trackers (existing and future), and — under the sharded
+     * core — one private edge log per shard. Call before run();
+     * nullptr is a no-op (profiling stays off).
+     */
+    void setProfiler(CausalProfiler *pr);
+
+    CausalProfiler *profiler() { return prof; }
+
     /** Aggregate merge-unit stagger mean over all switches, cycles. */
     double mergeStaggerMean() const;
 
@@ -220,7 +233,8 @@ class System : public DataArrivalHandler
     void tryLaunch(KernelState &ks);
     void launchOnGpu(KernelState &ks, GpuId g);
     void enqueueTb(KernelState &ks, GpuId g, int tb_idx);
-    void dispatchTb(KernelState &ks, GpuId g, int tb_idx, int slot);
+    void dispatchTb(KernelState &ks, GpuId g, int tb_idx, int slot,
+                    Cycle ready_at);
     void onTbProduced(KernelState &ks, TbRun &tb);
     void onTbFinished(KernelState &ks, GpuId g, int tb_idx, int slot,
                       TbRun *run);
@@ -250,6 +264,7 @@ class System : public DataArrivalHandler
     int unfinishedKernels = 0;
     Cycle finishedAt = 0;
     Rng skewRng;
+    CausalProfiler *prof = nullptr;
 };
 
 } // namespace cais

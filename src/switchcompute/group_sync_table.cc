@@ -1,5 +1,6 @@
 #include "switchcompute/group_sync_table.hh"
 
+#include "analysis/causal_profile.hh"
 #include "common/log.hh"
 
 namespace cais
@@ -88,6 +89,15 @@ GroupSyncTable::handleSyncReq(Packet &&pkt)
     if (hooks)
         hooks->onSyncWindow(sw.id(), group, static_cast<int>(phase),
                             e.first, now);
+
+    // Rendezvous-wait edge: the barrier spanned the registration
+    // window; the closing registrant (the active cause) released it,
+    // and the release packets it triggers are caused by the barrier.
+    CausalProfiler *prof = sw.profiler();
+    if (prof)
+        prof->record(profnode::sync(sw.id()), WaitClass::syncBarrier,
+                     e.first, now);
+    CausalProfiler::ScopedCause sc(prof, profnode::sync(sw.id()), now);
 
     NodeMask mask = e.mask;
     pending.erase(key(group, phase));

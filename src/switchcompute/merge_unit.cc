@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "analysis/causal_profile.hh"
 #include "common/log.hh"
 
 namespace cais
@@ -236,6 +237,16 @@ MergeUnit::handleReadResp(Packet &&pkt)
 
     e->state = SessionState::loadReady;
     e->lastAccess = sw.eventQueue().now();
+    // Session-wait edge: deferred requesters sat in the Content Array
+    // from the first ld.cais until the fetched data (the active cause,
+    // the readResp ingress) arrived; the responses they trigger are
+    // caused by the merge session completing.
+    CausalProfiler *prof = sw.profiler();
+    if (prof)
+        prof->record(profnode::merge(sw.id()), WaitClass::mergeWait,
+                     e->firstRequestAt, sw.eventQueue().now());
+    CausalProfiler::ScopedCause sc(prof, profnode::merge(sw.id()),
+                                   sw.eventQueue().now());
     // Serve every deferred requester from the Content Array.
     auto pend = std::move(e->pendingRequesters);
     e->pendingRequesters.clear();
@@ -337,8 +348,17 @@ MergeUnit::emitMergedWrite(const MergeEntry &e)
     st.mergedWrites.inc();
 
     Cycle delay = p.reduceDelay;
+    // Session-wait edge: the reduction accumulated from the first
+    // contribution until emission (including the ALU delay); the
+    // closing contribution (the active cause) enabled it.
+    if (CausalProfiler *prof = sw.profiler())
+        prof->record(profnode::merge(sw.id()), WaitClass::mergeWait,
+                     e.firstRequestAt, sw.eventQueue().now() + delay);
     sw.eventQueue().scheduleAfter(delay,
         [this, pkt = std::move(w)]() mutable {
+        CausalProfiler::ScopedCause sc(sw.profiler(),
+                                       profnode::merge(sw.id()),
+                                       sw.eventQueue().now());
         sw.sendToGpu(std::move(pkt));
     });
 }
@@ -360,8 +380,15 @@ MergeUnit::emitPartialUpstream(const MergeEntry &e)
     w.tierHop = 1;
     st.partialUpstream.inc();
 
+    if (CausalProfiler *prof = sw.profiler())
+        prof->record(profnode::merge(sw.id()), WaitClass::mergeWait,
+                     e.firstRequestAt,
+                     sw.eventQueue().now() + p.reduceDelay);
     sw.eventQueue().scheduleAfter(p.reduceDelay,
         [this, pkt = std::move(w)]() mutable {
+        CausalProfiler::ScopedCause sc(sw.profiler(),
+                                       profnode::merge(sw.id()),
+                                       sw.eventQueue().now());
         sw.sendToGpu(std::move(pkt));
     });
 }

@@ -1,5 +1,6 @@
 #include "switchcompute/nvls_unit.hh"
 
+#include "analysis/causal_profile.hh"
 #include "common/log.hh"
 
 namespace cais
@@ -91,6 +92,7 @@ NvlsUnit::handleLdReduceReq(Packet &&pkt)
 {
     std::uint64_t id = nextGatherId++;
     GatherSession &s = gathers[id];
+    s.profStart = sw.eventQueue().now();
     s.addr = pkt.addr;
     s.bytes = pkt.reqBytes;
     s.pad = pkt.padResponse ? pkt.reqBytes / protocolPadDivisor : 0;
@@ -182,10 +184,19 @@ NvlsUnit::completeGather(std::uint64_t id, GatherSession &s)
     resp.kernel = s.kernel;
     resp.tb = s.tb;
     gathersDone.inc();
+    // Fan-in wait edge: the gather spanned request arrival to the last
+    // partial (the active cause) plus the in-flight reduce delay.
+    if (CausalProfiler *prof = sw.profiler())
+        prof->record(profnode::nvls(sw.id()), WaitClass::nvlsFanout,
+                     s.profStart,
+                     sw.eventQueue().now() + p.reduceDelay);
     gathers.erase(id);
 
     sw.eventQueue().scheduleAfter(p.reduceDelay,
         [this, r = std::move(resp)]() mutable {
+        CausalProfiler::ScopedCause sc(sw.profiler(),
+                                       profnode::nvls(sw.id()),
+                                       sw.eventQueue().now());
         sw.sendToGpu(std::move(r));
     });
 }
@@ -234,6 +245,7 @@ NvlsUnit::handleRed(Packet &&pkt)
 
     RedSession &s = reds[pkt.addr];
     if (s.expected == 0) {
+        s.profStart = sw.eventQueue().now();
         if (tier.isSpine())
             s.expected = tier.numGroups;
         else if (tier.isLeaf())
@@ -257,6 +269,13 @@ NvlsUnit::handleRed(Packet &&pkt)
     KernelId kernel = s.kernel;
     int contribs = s.contribs;
     Addr addr = pkt.addr;
+    // Fan-in wait edge: contributions accumulated from the first
+    // arrival until this closing one (the active cause) plus the
+    // in-flight reduce delay before the result ships.
+    if (CausalProfiler *prof = sw.profiler())
+        prof->record(profnode::nvls(sw.id()), WaitClass::nvlsFanout,
+                     s.profStart,
+                     sw.eventQueue().now() + p.reduceDelay);
     reds.erase(pkt.addr);
 
     if (tier.isLeaf() && tier.numGroups > 1) {
@@ -272,6 +291,9 @@ NvlsUnit::handleRed(Packet &&pkt)
         up.tierHop = 1;
         sw.eventQueue().scheduleAfter(p.reduceDelay,
             [this, pkt2 = std::move(up)]() mutable {
+            CausalProfiler::ScopedCause sc(sw.profiler(),
+                                           profnode::nvls(sw.id()),
+                                           sw.eventQueue().now());
             sw.sendToGpu(std::move(pkt2));
         });
         redsDone.inc();
@@ -283,6 +305,9 @@ NvlsUnit::handleRed(Packet &&pkt)
         redsDone.inc();
         sw.eventQueue().scheduleAfter(p.reduceDelay,
             [this, addr, bytes, kernel, contribs] {
+            CausalProfiler::ScopedCause sc(sw.profiler(),
+                                           profnode::nvls(sw.id()),
+                                           sw.eventQueue().now());
             for (int grp = 0; grp < tier.numGroups; ++grp) {
                 Packet w = sw.makePacket(PacketType::multimemRed,
                                          tier.leafNodeForAddr(grp, addr));
@@ -303,6 +328,9 @@ NvlsUnit::handleRed(Packet &&pkt)
     int last = first + tier.localGpus(sw);
     sw.eventQueue().scheduleAfter(p.reduceDelay,
         [this, addr, bytes, kernel, contribs, first, last] {
+        CausalProfiler::ScopedCause sc(sw.profiler(),
+                                       profnode::nvls(sw.id()),
+                                       sw.eventQueue().now());
         for (GpuId g = first; g < last; ++g) {
             Packet w = sw.makePacket(PacketType::writeReq, g);
             w.addr = addr;

@@ -96,6 +96,7 @@ class NvlsUnit : public Probe
         int expected = 0;
         KernelId kernel = invalidId;
         TbId tb = invalidId;
+        Cycle profStart = 0; ///< profiler: session-open cycle
     };
 
     struct RedSession
@@ -110,6 +111,7 @@ class NvlsUnit : public Probe
         std::uint8_t tierHop = 0;
         /** Total GPU contributions represented (hierarchical sums). */
         int contribs = 0;
+        Cycle profStart = 0; ///< profiler: session-open cycle
     };
 
     void completeGather(std::uint64_t id, GatherSession &s);

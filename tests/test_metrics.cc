@@ -363,4 +363,95 @@ TEST(CaisReport, DiffShowsPercentDeltas)
     EXPECT_NE(d.find("switch0.merge.loadReqs"), std::string::npos);
 }
 
+TEST(MetricRegistry, HistogramSnapshotCarriesTailPercentiles)
+{
+    MetricRegistry reg;
+    Histogram h(0.0, 1000.0, 1000);
+    for (int i = 0; i < 1000; ++i)
+        h.sample(static_cast<double>(i));
+    reg.addHistogram("lat", &h);
+
+    MetricSnapshot snap = reg.snapshot();
+    const MetricValue *v = snap.find("lat");
+    ASSERT_NE(v, nullptr);
+    EXPECT_GT(v->p999, v->p99);
+    EXPECT_GT(v->p99, v->p50);
+    EXPECT_NEAR(v->p999, 999.0, 2.0);
+
+    JsonWriter w;
+    reg.snapshot().writeJson(w);
+    EXPECT_NE(w.str().find("\"p999\""), std::string::npos);
+}
+
+TEST(MetricRegistry, ComputedTimeSeriesReadsAtSnapshotTime)
+{
+    MetricRegistry reg;
+    std::vector<double> backing{1.0};
+    reg.addTimeSeriesFn("fabric.utilSeries", 2000,
+                        [&backing] { return backing; });
+    backing.push_back(2.0); // must be visible: reader, not a copy
+
+    MetricSnapshot snap = reg.snapshot();
+    const MetricValue *v = snap.find("fabric.utilSeries");
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->kind, MetricKind::timeSeries);
+    EXPECT_EQ(v->binWidth, 2000u);
+    ASSERT_EQ(v->bins.size(), 2u);
+    EXPECT_DOUBLE_EQ(v->bins[1], 2.0);
+}
+
+/** makeReport() plus a histogram and an extra counter under a
+ *  caller-chosen path, for the percentile / added-removed views. */
+std::string
+makeReportWith(std::uint64_t seed, const std::string &extra_path)
+{
+    RunConfig cfg;
+    cfg.seed = seed;
+    RunResult r;
+    r.strategy = "CAIS";
+    r.workload = "L1";
+    r.makespan = 1000 + seed;
+
+    MetricRegistry reg;
+    Counter c;
+    c.inc(seed);
+    reg.addCounter(extra_path, &c);
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.sample(static_cast<double>(i % 50) + (seed == 1 ? 0 : 25));
+    reg.addHistogram("switch0.merge.stagger", &h);
+    return renderMetricsReport(cfg, r, reg.snapshot());
+}
+
+TEST(CaisReport, SummaryRendersHistogramPercentiles)
+{
+    report::Report rep;
+    std::string error;
+    ASSERT_TRUE(report::load(makeReportWith(1, "a.only"), "a.json",
+                             rep, error));
+    std::string s = report::summary(rep);
+    EXPECT_NE(s.find("p999"), std::string::npos);
+    EXPECT_NE(s.find("switch0.merge.stagger"), std::string::npos);
+}
+
+TEST(CaisReport, DiffRendersPercentilesAndAddedRemovedPaths)
+{
+    report::Report a, b;
+    std::string error;
+    ASSERT_TRUE(report::load(makeReportWith(1, "a.only"), "a.json", a,
+                             error));
+    ASSERT_TRUE(report::load(makeReportWith(2, "b.only"), "b.json", b,
+                             error));
+    std::string d = report::diff(a, b);
+    // Histogram percentile shift is rendered...
+    EXPECT_NE(d.find("p999 A -> B"), std::string::npos);
+    EXPECT_NE(d.find("switch0.merge.stagger"), std::string::npos);
+    // ...and paths present in only one report are called out rather
+    // than silently skipped.
+    EXPECT_NE(d.find("only in A"), std::string::npos);
+    EXPECT_NE(d.find("- a.only"), std::string::npos);
+    EXPECT_NE(d.find("only in B"), std::string::npos);
+    EXPECT_NE(d.find("+ b.only"), std::string::npos);
+}
+
 } // namespace

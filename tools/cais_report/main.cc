@@ -1,9 +1,15 @@
 /**
  * @file
- * cais_report: inspect cais-metrics-v1 run reports.
+ * cais_report: inspect cais-metrics-v1 run reports and
+ * cais-profile-v1 causal profiles.
  *
- *   cais_report run.json              summary table of one run
- *   cais_report --diff a.json b.json  A/B diff with percent deltas
+ *   cais_report run.json                    summary table of one run
+ *   cais_report --diff a.json b.json        A/B diff with % deltas
+ *   cais_report --attribution p.json        makespan attribution by
+ *                                           leaf resource class
+ *   cais_report --critical-path p.json      critical-path segments
+ *   cais_report --attribution --diff a b    class-by-class delta
+ *   cais_report --critical-path --diff a b  path-time-by-class delta
  */
 
 #include <cstdio>
@@ -18,9 +24,13 @@ namespace
 int
 usage()
 {
-    std::fprintf(stderr,
-                 "usage: cais_report <report.json>\n"
-                 "       cais_report --diff <a.json> <b.json>\n");
+    std::fprintf(
+        stderr,
+        "usage: cais_report <report.json>\n"
+        "       cais_report --diff <a.json> <b.json>\n"
+        "       cais_report --attribution [--diff] <profile.json>...\n"
+        "       cais_report --critical-path [--diff] "
+        "<profile.json>...\n");
     return 2;
 }
 
@@ -30,11 +40,21 @@ int
 main(int argc, char **argv)
 {
     bool want_diff = false;
+    enum class View
+    {
+        summary,
+        attribution,
+        criticalPath,
+    } view = View::summary;
     std::vector<std::string> paths;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--diff") {
             want_diff = true;
+        } else if (arg == "--attribution") {
+            view = View::attribution;
+        } else if (arg == "--critical-path") {
+            view = View::criticalPath;
         } else if (arg == "-h" || arg == "--help") {
             usage();
             return 0;
@@ -54,9 +74,33 @@ main(int argc, char **argv)
         }
     }
 
-    std::string out = want_diff
-        ? cais::report::diff(reports[0], reports[1])
-        : cais::report::summary(reports[0]);
+    std::string out;
+    switch (view) {
+      case View::attribution:
+        out = want_diff
+            ? cais::report::attributionDiff(reports[0], reports[1])
+            : cais::report::attribution(reports[0]);
+        break;
+      case View::criticalPath:
+        out = want_diff
+            ? cais::report::criticalPathDiff(reports[0], reports[1])
+            : cais::report::criticalPath(reports[0]);
+        break;
+      case View::summary:
+        // A profile given without a view flag still renders usefully:
+        // default it to the attribution view.
+        if (reports[0].isProfile()) {
+            out = want_diff
+                ? cais::report::attributionDiff(reports[0],
+                                                reports[1])
+                : cais::report::attribution(reports[0]);
+        } else {
+            out = want_diff
+                ? cais::report::diff(reports[0], reports[1])
+                : cais::report::summary(reports[0]);
+        }
+        break;
+    }
     std::fputs(out.c_str(), stdout);
     return 0;
 }

@@ -1,9 +1,11 @@
 /**
  * @file
  * cais_report core: load cais-metrics-v1 JSON run reports (see
- * src/analysis/report.hh for the writer) and render either a summary
- * table for one run or an A/B diff with percent deltas for two. A
- * library so tests/test_metrics.cc can drive it in-process.
+ * src/analysis/report.hh for the writer) and cais-profile-v1 causal
+ * profiles (see src/analysis/causal_profile.hh), and render summary
+ * tables, A/B diffs with percent deltas, critical-path listings and
+ * makespan attribution views. A library so tests/test_metrics.cc can
+ * drive it in-process.
  */
 
 #ifndef CAIS_TOOLS_CAIS_REPORT_REPORT_HH
@@ -23,12 +25,17 @@ struct Report
 {
     JsonValue doc;
     std::string path;
+    std::string schema; ///< "cais-metrics-v1" or "cais-profile-v1"
+
+    bool isProfile() const { return schema == "cais-profile-v1"; }
 };
 
 /**
- * Parse @p text as a cais-metrics-v1 report. Returns false and sets
- * @p error on malformed JSON, a missing/unknown schema tag, or a
- * missing result section.
+ * Parse @p text as a cais-metrics-v1 run report or a cais-profile-v1
+ * causal profile (distinguished by the schema tag; see
+ * Report::isProfile). Returns false and sets @p error on malformed
+ * JSON, a missing/unknown schema tag, or a missing result section
+ * (run reports only).
  */
 bool load(const std::string &text, const std::string &path,
           Report &out, std::string &error);
@@ -42,9 +49,29 @@ std::string summary(const Report &r);
 
 /**
  * A/B comparison: every scalar in the result section side by side
- * with the percent delta, plus headline metric-tree deltas.
+ * with the percent delta, histogram-percentile deltas, metric paths
+ * present in only one report, plus headline metric-tree movers.
  */
 std::string diff(const Report &a, const Report &b);
+
+/**
+ * Makespan attribution view of a cais-profile-v1 document: one row
+ * per leaf resource class with attributed cycles and share, plus
+ * coverage (attributed / makespan).
+ */
+std::string attribution(const Report &r);
+
+/** Class-by-class attribution delta between two profiles. */
+std::string attributionDiff(const Report &a, const Report &b);
+
+/**
+ * Critical-path view of a cais-profile-v1 document: the makespan-
+ * defining chain of wait-for segments, earliest first.
+ */
+std::string criticalPath(const Report &r);
+
+/** Per-class critical-path time delta between two profiles. */
+std::string criticalPathDiff(const Report &a, const Report &b);
 
 } // namespace report
 } // namespace cais
