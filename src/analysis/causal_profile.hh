@@ -310,14 +310,19 @@ class CausalProfiler
     /**
      * Size the per-shard log array; shard @p i's log pointer (for
      * ShardedEventQueue::setShardUserData) is shardLogSlot(i).
+     * Channel functions: they touch the shard-shared log array, but
+     * only before the worker threads start (setup) — no domain runs
+     * concurrently with them.
      */
-    void setNumShards(int n);
-    void *shardLogSlot(int shard);
+    CAIS_CROSS_SHARD_CHANNEL void setNumShards(int n);
+    CAIS_CROSS_SHARD_CHANNEL void *shardLogSlot(int shard);
 
     // ---- analysis (post-run, single-threaded) ----
 
-    /** Merge per-shard logs into the canonical sorted edge list. */
-    void finalize();
+    /** Merge per-shard logs into the canonical sorted edge list.
+     *  Channel function: drains every shard's log after the workers
+     *  have joined, so the merge cannot race the window loop. */
+    CAIS_CROSS_SHARD_CHANNEL void finalize();
 
     /** Total recorded edges (valid after finalize()). */
     std::size_t numEdges() const { return edges.size(); }

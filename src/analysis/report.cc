@@ -64,6 +64,24 @@ renderMetricsReport(const RunConfig &cfg, const RunResult &r,
                                           r.computeKernelCycles))
         .endObject();
 
+    // Static analytical bounds (analysis/bound_model.hh), harvested
+    // alongside the simulated result so report tooling can render
+    // sim-vs-bound ratios from the one document.
+    w.key("bound").beginObject()
+        .field("composite", static_cast<std::uint64_t>(
+                                r.boundComposite))
+        .field("smCompute", static_cast<std::uint64_t>(
+                                r.boundCompute))
+        .field("hbm", static_cast<std::uint64_t>(r.boundHbm))
+        .field("linkSerialization", static_cast<std::uint64_t>(
+                                        r.boundLink))
+        .field("mergeService", static_cast<std::uint64_t>(
+                                   r.boundMerge))
+        .field("criticalPath", static_cast<std::uint64_t>(
+                                   r.boundCritPath))
+        .field("binding", r.boundBinding)
+        .endObject();
+
     w.key("metrics");
     snap.writeJson(w);
 

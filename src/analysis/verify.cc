@@ -4,6 +4,9 @@
 #include <map>
 #include <tuple>
 
+#include "analysis/bound_model.hh"
+#include "analysis/causal_profile.hh"
+
 #include "common/json.hh"
 #include "common/log.hh"
 #include "common/nodemask.hh"
@@ -1277,6 +1280,19 @@ ruleTable()
          "fix the Fabric::switchShard domain map or the link "
          "sink-queue binding so the conservative-PDES partition is "
          "closed over shard 0 = host + GPUs + kernel lifecycle"},
+        {"V8",
+         "the simulated makespan must be at least the static "
+         "analytical bound of every resource class (SM compute, HBM, "
+         "link serialization, merge service, kernel critical path)",
+         "a makespan below the bound is a simulator bug: audit the "
+         "resource model the diagnostic names, or the bound term if "
+         "the model intentionally overlaps that cost"},
+        {"V9",
+         "when sim/bound exceeds the configured slack ratio, the "
+         "causal profiler must attribute the slack (coverage >= 95%)",
+         "profile the run (RunConfig::profile) and inspect the "
+         "dominant wait class, or raise the slack ratio if the "
+         "workload is legitimately far from its bound"},
     };
     return table;
 }
@@ -1383,6 +1399,100 @@ verifyRun(const StrategySpec &spec, const OpGraph &graph,
     if (o.strategy.empty())
         o.strategy = spec.name;
     return verifySystem(sys, o);
+}
+
+VerifyResult
+verifyPostRun(const System &sys, const BoundResult &bound,
+              Cycle makespan, const Attribution *attr,
+              const Options &opts)
+{
+    (void)sys; // context only; the rules act on the finished numbers
+    VerifyResult r;
+    r.strategy = opts.strategy;
+    r.workload = opts.workload;
+
+    const std::pair<const char *, Cycle> classes[] = {
+        {"smCompute", bound.smCompute},
+        {"hbm", bound.hbm},
+        {"linkSerialization", bound.linkSerialization},
+        {"mergeService", bound.mergeService},
+        {"criticalPath", bound.criticalPath},
+    };
+
+    if (!opts.suppress.count("V8")) {
+        for (const auto &[name, cyc] : classes) {
+            if (makespan >= cyc)
+                continue;
+            Diagnostic d;
+            d.id = "V8";
+            d.message = strfmt(
+                "simulated makespan %llu cycles is below the static "
+                "%s bound of %llu cycles (composite bound %llu, "
+                "binding resource %s)",
+                static_cast<unsigned long long>(makespan), name,
+                static_cast<unsigned long long>(cyc),
+                static_cast<unsigned long long>(bound.composite),
+                bound.binding.c_str());
+            d.hint =
+                "a run faster than its resource floor is a simulator "
+                "bug: audit the model behind the named resource, or "
+                "the bound term if the cost is intentionally "
+                "overlapped";
+            d.path = {std::string("resource:") + name};
+            r.diagnostics.push_back(std::move(d));
+        }
+    }
+
+    if (opts.v9SlackRatio > 0.0 && !opts.suppress.count("V9") &&
+        bound.composite > 0 &&
+        static_cast<double>(makespan) >
+            opts.v9SlackRatio * static_cast<double>(bound.composite)) {
+        const bool explained = attr != nullptr &&
+                               attr->coverage() >= 0.95;
+        if (!explained) {
+            std::size_t dom = 1; // dominant attributed class (skip
+                                 // index 0 = unattributed)
+            if (attr != nullptr) {
+                for (std::size_t i = 2; i < attr->byClass.size(); ++i)
+                    if (attr->byClass[i] > attr->byClass[dom])
+                        dom = i;
+            }
+            Diagnostic d;
+            d.id = "V9";
+            const double ratio =
+                static_cast<double>(makespan) /
+                static_cast<double>(bound.composite);
+            if (attr == nullptr) {
+                d.message = strfmt(
+                    "sim/bound ratio %.2f exceeds the slack threshold "
+                    "%.2f (makespan %llu vs composite bound %llu, "
+                    "binding %s) and no profiler attribution is "
+                    "available to explain the slack",
+                    ratio, opts.v9SlackRatio,
+                    static_cast<unsigned long long>(makespan),
+                    static_cast<unsigned long long>(bound.composite),
+                    bound.binding.c_str());
+            } else {
+                d.message = strfmt(
+                    "sim/bound ratio %.2f exceeds the slack threshold "
+                    "%.2f (makespan %llu vs composite bound %llu, "
+                    "binding %s) and the profiler explains only "
+                    "%.1f%% of the makespan (dominant wait class %s)",
+                    ratio, opts.v9SlackRatio,
+                    static_cast<unsigned long long>(makespan),
+                    static_cast<unsigned long long>(bound.composite),
+                    bound.binding.c_str(), attr->coverage() * 100.0,
+                    waitClassName(static_cast<WaitClass>(dom)));
+            }
+            d.hint =
+                "profile the run (RunConfig::profile) and chase the "
+                "dominant wait class, or raise boundSlackRatio if the "
+                "workload legitimately runs this far from its bound";
+            d.path = {std::string("binding:") + bound.binding};
+            r.diagnostics.push_back(std::move(d));
+        }
+    }
+    return r;
 }
 
 } // namespace verify

@@ -39,6 +39,17 @@
  *        host + GPU + kernel-lifecycle set, and a constructed link
  *        runs in split-delivery mode exactly when its endpoints'
  *        domains differ.
+ *  - V8  bound soundness (post-run): the simulated makespan must be
+ *        at least the static analytical bound of every resource class
+ *        (analysis/bound_model.hh); a violation names the resource
+ *        and the concrete cycle counts — a makespan below what SM
+ *        compute, HBM, link serialization, merge service, or the
+ *        kernel critical path permit is a simulator bug.
+ *  - V9  slack attribution (post-run, opt-in via a slack ratio): when
+ *        sim/bound exceeds the configured ratio, the causal profiler
+ *        must be able to explain the slack; runs without attribution
+ *        or with coverage below 95% are flagged, cross-referencing
+ *        the profiler's dominant WaitClass.
  *
  * Diagnostics are structured: renderable as human-readable text with
  * a fix-it hint per rule, or as a schema-versioned cais-verify-v1
@@ -58,6 +69,8 @@ namespace cais
 {
 
 class JsonWriter;
+struct Attribution;
+struct BoundResult;
 
 namespace verify
 {
@@ -68,7 +81,7 @@ inline constexpr const char *verifySchemaVersion = "cais-verify-v1";
 /** One rule violation with its structured payload. */
 struct Diagnostic
 {
-    std::string id;      ///< "V1".."V7"
+    std::string id;      ///< "V1".."V9"
     std::string message; ///< what is wrong, with concrete values
     std::string hint;    ///< one-line fix-it
 
@@ -108,7 +121,7 @@ struct ExtraCoupling
 /** Tuning knobs of one verification pass. */
 struct Options
 {
-    /** Rule ids to skip ("V1".."V7"); unknown ids are ignored. */
+    /** Rule ids to skip ("V1".."V9"); unknown ids are ignored. */
     std::set<std::string> suppress;
 
     /** Context echoed into the JSON document (may stay empty). */
@@ -129,6 +142,14 @@ struct Options
     Cycle v6LookaheadOverride = 0;
     int v7DomainOverrideSwitch = -1;
     int v7DomainOverrideShard = 0;
+
+    /**
+     * V9 slack threshold: a post-run check fires when the simulated
+     * makespan exceeds v9SlackRatio times the composite bound and the
+     * causal profiler cannot explain the slack. 0 (the default)
+     * disables V9 — the ratio is workload-dependent, so it is opt-in.
+     */
+    double v9SlackRatio = 0.0;
 };
 
 /** Outcome of one verification pass. */
@@ -167,6 +188,18 @@ VerifyResult verifySystem(const System &sys, const Options &opts = {});
  */
 VerifyResult verifyRun(const StrategySpec &spec, const OpGraph &graph,
                        const RunConfig &cfg, const Options &opts = {});
+
+/**
+ * Post-run rules V8/V9: check the finished run's makespan against the
+ * precomputed static bound (V8) and, when opts.v9SlackRatio > 0,
+ * require the causal profiler attribution @p attr to explain any
+ * slack beyond the ratio (V9). @p attr may be null — a run without
+ * profiling; V9 then flags unexplained slack outright. Read-only, so
+ * a gated run stays bit-identical to a suppressed one.
+ */
+VerifyResult verifyPostRun(const System &sys, const BoundResult &bound,
+                           Cycle makespan, const Attribution *attr,
+                           const Options &opts = {});
 
 } // namespace verify
 } // namespace cais

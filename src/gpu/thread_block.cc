@@ -45,6 +45,7 @@ TbRun::afterLaunchSync()
         mult = std::clamp(ctx.rng->normal(1.0, ctx.jitterSigma),
                           0.5, 1.8);
     if (tb.computeCycles > 0) {
+        // cais-lint: allow(D12) -- the jitter multiplier is real-valued by design; one seeded truncation per TB, bounded by the 0.5 clamp
         Cycle dur = static_cast<Cycle>(
             static_cast<double>(tb.computeCycles) * mult);
         if (dur == 0)

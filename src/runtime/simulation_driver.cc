@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "analysis/bound_model.hh"
 #include "analysis/causal_profile.hh"
 #include "analysis/deep_trace.hh"
 #include "analysis/report.hh"
@@ -71,6 +72,9 @@ RunConfig::validationError() const
                       perGpuBwPerDir);
     if (utilBinWidth == 0)
         return "utilBinWidth must be non-zero";
+    if (boundSlackRatio < 0.0)
+        return strfmt("boundSlackRatio must be >= 0 (got %g)",
+                      boundSlackRatio);
     if (maxEvents == 0)
         return "maxEvents must be non-zero";
     if (mergeTimeout == 0)
@@ -217,6 +221,19 @@ runGraph(const StrategySpec &spec, const OpGraph &graph,
     r.workload = workload_name;
     r.makespan = sys.makespan();
 
+    // Static analytical bound (DESIGN.md §6h): descriptor-only, so
+    // computing it never perturbs the finished event state. Harvested
+    // into the result for sim-vs-bound reporting and checked by the
+    // post-run V8/V9 gate below.
+    const BoundResult bound = computeBound(sys);
+    r.boundComposite = bound.composite;
+    r.boundCompute = bound.smCompute;
+    r.boundHbm = bound.hbm;
+    r.boundLink = bound.linkSerialization;
+    r.boundMerge = bound.mergeService;
+    r.boundCritPath = bound.criticalPath;
+    r.boundBinding = bound.binding;
+
     // Everything counter-shaped is harvested from the registry; only
     // the windowed utilization aggregates still need Fabric methods
     // (they are computations over [0, makespan), not plain readings).
@@ -291,6 +308,7 @@ runGraph(const StrategySpec &spec, const OpGraph &graph,
         r.kernels.push_back(std::move(t));
     }
 
+    Attribution attr;
     if (profiling) {
         for (std::size_t k = 0; k < sys.numKernels(); ++k)
             prof.setName(
@@ -309,7 +327,7 @@ runGraph(const StrategySpec &spec, const OpGraph &graph,
                 crit = static_cast<KernelId>(k);
             }
         }
-        Attribution attr = prof.analyze(
+        attr = prof.analyze(
             crit != invalidId ? profnode::kernel(crit)
                               : profnode::root(),
             r.makespan);
@@ -341,6 +359,24 @@ runGraph(const StrategySpec &spec, const OpGraph &graph,
         !writeMetricsReport(cfg.metricsPath, cfg, r, snap))
         warn("could not write metrics report to %s",
              cfg.metricsPath.c_str());
+
+    // Post-run verification gate (V8/V9): placed after the artifact
+    // writers so traces/metrics/profiles survive a fatal diagnostic
+    // for post-mortem analysis.
+    if (cfg.verify) {
+        verify::Options vo;
+        vo.strategy = spec.name;
+        vo.workload = workload_name;
+        vo.suppress.insert(cfg.verifySuppress.begin(),
+                           cfg.verifySuppress.end());
+        vo.v9SlackRatio = cfg.boundSlackRatio;
+        verify::VerifyResult pr = verify::verifyPostRun(
+            sys, bound, r.makespan, profiling ? &attr : nullptr, vo);
+        if (!pr.ok())
+            fatal("post-run verification failed for %s / %s:\n%s",
+                  spec.name.c_str(), workload_name.c_str(),
+                  pr.text().c_str());
+    }
 
     return r;
 }

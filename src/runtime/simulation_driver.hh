@@ -122,8 +122,17 @@ struct RunConfig
      */
     bool verify = true;
 
-    /** Rule ids ("V1".."V7") the verification gate should skip. */
+    /** Rule ids ("V1".."V9") the verification gates should skip. */
     std::vector<std::string> verifySuppress;
+
+    /**
+     * V9 slack threshold for the post-run gate: fail the run when
+     * makespan exceeds boundSlackRatio times the composite static
+     * bound and the causal profiler cannot explain the slack
+     * (analysis/bound_model.hh). 0 disables V9; V8 (makespan >= the
+     * static bound) is always part of the gate while verify is on.
+     */
+    double boundSlackRatio = 0.0;
 
     /** First bounds violation as a message, or "" when valid. */
     std::string validationError() const;
@@ -185,6 +194,19 @@ struct RunResult
     /** Per-bin mean link utilization over the run (Fig. 16). */
     std::vector<double> utilSeries;
     Cycle utilBinWidth = 0;
+
+    /**
+     * Static analytical bounds (analysis/bound_model.hh), computed
+     * for every run so tools can report sim-vs-bound ratios without
+     * rebuilding the System.
+     */
+    Cycle boundComposite = 0;
+    Cycle boundCompute = 0;
+    Cycle boundHbm = 0;
+    Cycle boundLink = 0;
+    Cycle boundMerge = 0;
+    Cycle boundCritPath = 0;
+    std::string boundBinding;
 
     /** makespan in microseconds. */
     double makespanUs() const

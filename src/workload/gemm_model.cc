@@ -3,13 +3,41 @@
 namespace cais
 {
 
+GemmCost
+gemmTbCost(const GemmTiling &t, std::int64_t k)
+{
+    GemmCost c;
+    c.flops = 2.0 * static_cast<double>(t.tileM) *
+              static_cast<double>(t.tileN) * static_cast<double>(k);
+    return c;
+}
+
+GemmCost
+memBoundTbCost(std::uint64_t bytes, double expansion)
+{
+    GemmCost c;
+    c.bytes = static_cast<std::uint64_t>(static_cast<double>(bytes) *
+                                         expansion);
+    return c;
+}
+
+GemmCost
+attentionTbCost(std::int64_t seq_len, std::int64_t hidden_per_gpu,
+                int tile_rows)
+{
+    // QK^T and PV for tile_rows query rows against the full sequence
+    // over this GPU's head slice: 2 GEMMs of 2*rows*seq*hidden FLOPs.
+    GemmCost c;
+    c.flops = 4.0 * static_cast<double>(tile_rows) *
+              static_cast<double>(seq_len) *
+              static_cast<double>(hidden_per_gpu);
+    return c;
+}
+
 Cycle
 gemmTbCycles(const GpuParams &gp, const GemmTiling &t, std::int64_t k)
 {
-    double flops = 2.0 * static_cast<double>(t.tileM) *
-                   static_cast<double>(t.tileN) *
-                   static_cast<double>(k);
-    double cyc = flops / gp.effectiveFlopsPerCyclePerSm();
+    double cyc = gemmTbCost(t, k).flops / gp.effectiveFlopsPerCyclePerSm();
     return cyc < 1.0 ? 1 : static_cast<Cycle>(cyc);
 }
 
@@ -21,7 +49,8 @@ memBoundTbCycles(const GpuParams &gp, std::uint64_t bytes,
     // assume it sustains the per-SM fair share times a burst factor.
     double per_tb_bw = gp.hbmBytesPerCycle /
                        static_cast<double>(gp.numSms) * 8.0;
-    double cyc = static_cast<double>(bytes) * expansion / per_tb_bw;
+    double cyc = static_cast<double>(memBoundTbCost(bytes, expansion).bytes) /
+                 per_tb_bw;
     return cyc < 1.0 ? 1 : static_cast<Cycle>(cyc);
 }
 
@@ -29,12 +58,8 @@ Cycle
 attentionTbCycles(const GpuParams &gp, std::int64_t seq_len,
                   std::int64_t hidden_per_gpu, int tile_rows)
 {
-    // QK^T and PV for tile_rows query rows against the full sequence
-    // over this GPU's head slice: 2 GEMMs of 2*rows*seq*hidden FLOPs.
-    double flops = 4.0 * static_cast<double>(tile_rows) *
-                   static_cast<double>(seq_len) *
-                   static_cast<double>(hidden_per_gpu);
-    double cyc = flops / gp.effectiveFlopsPerCyclePerSm();
+    double cyc = attentionTbCost(seq_len, hidden_per_gpu, tile_rows).flops /
+                 gp.effectiveFlopsPerCyclePerSm();
     return cyc < 1.0 ? 1 : static_cast<Cycle>(cyc);
 }
 

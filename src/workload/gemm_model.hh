@@ -31,6 +31,28 @@ ceilDiv(std::int64_t a, std::int64_t b)
     return (a + b - 1) / b;
 }
 
+/**
+ * Raw resource demand of one thread block, before the roofline turns
+ * it into cycles. Exposed so analytical consumers (the bound model,
+ * fig02's analytic curve) can account FLOPs and bytes directly
+ * instead of reverse-engineering them from cycle counts.
+ */
+struct GemmCost
+{
+    double flops = 0.0;       ///< multiply-add FLOPs (2 per MAC)
+    std::uint64_t bytes = 0;  ///< HBM bytes streamed (expansion folded in)
+};
+
+/** FLOPs of one tileM x tileN x K GEMM output tile. */
+GemmCost gemmTbCost(const GemmTiling &t, std::int64_t k);
+
+/** Bytes a memory-bound TB streams through HBM (expansion folded). */
+GemmCost memBoundTbCost(std::uint64_t bytes, double expansion = 2.0);
+
+/** FLOPs of the attention core of one tile_rows-row block. */
+GemmCost attentionTbCost(std::int64_t seq_len,
+                         std::int64_t hidden_per_gpu, int tile_rows);
+
 /** Cycles one GEMM thread block spends computing a tileM x tileN x K
  *  output tile. */
 Cycle gemmTbCycles(const GpuParams &gp, const GemmTiling &t,

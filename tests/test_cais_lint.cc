@@ -756,6 +756,101 @@ TEST(LintD11, SuppressionCommentIsHonored)
 }
 
 // --------------------------------------------------------------------
+// D12: floating-point arithmetic on cycle-typed values in hot paths
+// --------------------------------------------------------------------
+
+TEST(LintD12, CastOfDoubleExpressionIsFlagged)
+{
+    auto fs = lintOne(
+        "src/gpu/x.cc",
+        "Cycle f(Cycle c, double mult) {\n"
+        "    return static_cast<Cycle>(\n"
+        "        static_cast<double>(c) * mult);\n"
+        "}\n");
+    ASSERT_EQ(countRule(fs, "D12"), 1);
+    EXPECT_EQ(fs[0].line, 2);
+}
+
+TEST(LintD12, CastOverFloatingLiteralIsFlagged)
+{
+    auto fs = lintOne(
+        "src/noc/x.cc",
+        "Cycle f(Cycle c) {\n"
+        "    return static_cast<Cycle>(c * 1.5);\n"
+        "}\n");
+    EXPECT_EQ(countRule(fs, "D12"), 1);
+}
+
+TEST(LintD12, CastOverExponentLiteralIsFlagged)
+{
+    // 4e3 has no dot but is still a double literal; 0x1E is not.
+    auto fs = lintOne(
+        "src/switchcompute/x.cc",
+        "Cycle f(Cycle c) {\n"
+        "    Cycle a = static_cast<Cycle>(c + 4e3);\n"
+        "    Cycle b = static_cast<Cycle>(c + 0x1E);\n"
+        "    return a + b;\n"
+        "}\n");
+    EXPECT_EQ(countRule(fs, "D12"), 1);
+}
+
+TEST(LintD12, FloatKeywordInsideCastIsFlagged)
+{
+    auto fs = lintOne(
+        "src/gpu/x.cc",
+        "Cycle f(Cycle c, float scale) {\n"
+        "    return static_cast<Cycle>(static_cast<float>(c) *\n"
+        "                              scale);\n"
+        "}\n");
+    EXPECT_EQ(countRule(fs, "D12"), 1);
+}
+
+TEST(LintD12, IntegerOnlyCastPasses)
+{
+    auto fs = lintOne(
+        "src/gpu/x.cc",
+        "Cycle f(int n) {\n"
+        "    return static_cast<Cycle>(n) * 2;\n"
+        "}\n");
+    EXPECT_EQ(countRule(fs, "D12"), 0);
+}
+
+TEST(LintD12, IntmathHelpersPass)
+{
+    auto fs = lintOne(
+        "src/noc/x.cc",
+        "Cycle f(std::uint64_t bytes, const SerDivider &bw) {\n"
+        "    return bw.cycles(bytes) + ceilDiv(bytes, 4096);\n"
+        "}\n");
+    EXPECT_EQ(countRule(fs, "D12"), 0);
+}
+
+TEST(LintD12, OutsideHotPathDirectoriesIsNotInScope)
+{
+    // The bound model and benches legitimately mix doubles with
+    // cycle casts; D12 is scoped to the simulation hot paths.
+    std::string src = "Cycle f(double v) {\n"
+                      "    return static_cast<Cycle>(v);\n"
+                      "}\n";
+    EXPECT_EQ(countRule(lintOne("src/analysis/x.cc", src), "D12"), 0);
+    EXPECT_EQ(countRule(lintOne("src/runtime/x.cc", src), "D12"), 0);
+    EXPECT_EQ(countRule(lintOne("bench/x.cc", src), "D12"), 0);
+}
+
+TEST(LintD12, SuppressionCommentIsHonored)
+{
+    auto fs = lintOne(
+        "src/gpu/x.cc",
+        "Cycle f(Cycle c, double mult) {\n"
+        "    // cais-lint: allow(D12) -- seeded jitter, truncated\n"
+        "    return static_cast<Cycle>(\n"
+        "        static_cast<double>(c) * mult);\n"
+        "}\n");
+    EXPECT_EQ(countRule(fs, "D12"), 0);
+    EXPECT_EQ(countRule(fs, "X1"), 0);
+}
+
+// --------------------------------------------------------------------
 // Suppressions
 // --------------------------------------------------------------------
 
@@ -917,9 +1012,10 @@ TEST(LintLexer, CommentsAndStringsAreInvisible)
 
 TEST(LintLexer, RuleTableCoversAllRules)
 {
-    std::vector<std::string> want = {"D1", "D2", "D3", "D4",
-                                     "D5", "D6", "D7", "D8",
-                                     "D9", "D10", "D11", "X1"};
+    std::vector<std::string> want = {"D1", "D2",  "D3",  "D4",
+                                     "D5", "D6",  "D7",  "D8",
+                                     "D9", "D10", "D11", "D12",
+                                     "X1"};
     const auto &table = cais::lint::ruleTable();
     ASSERT_EQ(table.size(), want.size());
     for (std::size_t i = 0; i < want.size(); ++i)

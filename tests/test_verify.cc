@@ -72,10 +72,10 @@ TEST(Verify, ShippedConfigsProduceZeroDiagnostics)
     }
 }
 
-TEST(Verify, RuleTableListsAllSevenRules)
+TEST(Verify, RuleTableListsAllNineRules)
 {
     const auto &rules = verify::ruleTable();
-    ASSERT_EQ(rules.size(), 7u);
+    ASSERT_EQ(rules.size(), 9u);
     for (std::size_t i = 0; i < rules.size(); ++i) {
         EXPECT_EQ(rules[i].id, "V" + std::to_string(i + 1));
         EXPECT_NE(std::string(rules[i].hint), "");

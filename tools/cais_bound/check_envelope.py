@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""CI gate over a cais-bound-v1 matrix document.
+
+Usage: check_envelope.py <bound-matrix.json> <ratio_envelope.json>
+
+Asserts (exit 1 with one line per failure otherwise):
+  1. totalViolations == 0 -- no run beat its static floor (rule V8).
+  2. Every run's sim/bound ratio falls inside its strategy's
+     [min, max] envelope from the checked-in baseline, and every
+     strategy in the baseline appeared in the matrix.
+
+The envelope is deliberately wider than the deterministic values the
+simulator produces today: it fails only when the bound model loosens
+(ratio above max) or the bound creeps toward the makespan without a
+model change making it sound (ratio below min), either of which
+deserves a reviewed baseline update.
+"""
+
+import json
+import sys
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    with open(argv[1]) as f:
+        matrix = json.load(f)
+    with open(argv[2]) as f:
+        envelope = json.load(f)
+
+    failures = []
+
+    if matrix.get("schema") != "cais-bound-v1":
+        failures.append(
+            "matrix schema is %r, want 'cais-bound-v1'"
+            % matrix.get("schema"))
+    if envelope.get("schema") != "cais-bound-envelope-v1":
+        failures.append(
+            "envelope schema is %r, want 'cais-bound-envelope-v1'"
+            % envelope.get("schema"))
+
+    violations = matrix.get("totalViolations", -1)
+    if violations != 0:
+        failures.append(
+            "totalViolations == %s, want 0 (a run beat its static "
+            "floor: simulator bug, see rule V8)" % violations)
+
+    bands = envelope.get("strategies", {})
+    seen = set()
+    for run in matrix.get("runs", []):
+        strategy = run.get("strategy", "?")
+        workload = run.get("workload", "?")
+        topology = run.get("topology", "") or "flat"
+        ratio = run.get("ratio")
+        seen.add(strategy)
+        band = bands.get(strategy)
+        if band is None:
+            failures.append(
+                "%s: no envelope for this strategy (add it to %s)"
+                % (strategy, argv[2]))
+            continue
+        if ratio is None:
+            failures.append("%s / %s / %s: run carries no ratio"
+                            % (strategy, workload, topology))
+            continue
+        if not band["min"] <= ratio <= band["max"]:
+            failures.append(
+                "%s / %s / %s: sim/bound ratio %.3f outside "
+                "envelope [%.2f, %.2f]"
+                % (strategy, workload, topology, ratio,
+                   band["min"], band["max"]))
+
+    for strategy in sorted(bands):
+        if strategy not in seen:
+            failures.append(
+                "%s: in the envelope baseline but absent from the "
+                "matrix" % strategy)
+
+    for line in failures:
+        print("FAIL: " + line)
+    if not failures:
+        print("ok: %d runs, zero V8 violations, all ratios inside "
+              "their strategy envelopes" % len(matrix.get("runs", [])))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1437,6 +1437,61 @@ ruleD11(Ctx &cx, const LexedFile &f, const ScopeMap &sm)
     }
 }
 
+/** True for a number token spelling a floating-point literal. */
+bool
+floatLiteral(const std::string &text)
+{
+    if (text.size() > 1 && text[0] == '0' &&
+        (text[1] == 'x' || text[1] == 'X'))
+        return false; // hex: 'e'/'E' are digits, '.' cannot appear
+    if (text.find('.') != std::string::npos)
+        return true;
+    return text.find('e') != std::string::npos ||
+           text.find('E') != std::string::npos;
+}
+
+/** D12: floating-point arithmetic funneled into a cycle-typed value
+ *  in a hot-path directory — `static_cast<Cycle>(...)` whose
+ *  argument mentions double/float or a floating literal. Cycle math
+ *  must go through common/intmath.hh (ceilDiv, SerDivider) so event
+ *  times stay exact across platforms and FP-contraction settings. */
+void
+ruleD12(Ctx &cx, const LexedFile &f)
+{
+    if (!startsWith(f.path, "src/noc/") &&
+        !startsWith(f.path, "src/gpu/") &&
+        !startsWith(f.path, "src/switchcompute/"))
+        return;
+    const auto &ts = f.toks;
+    for (std::size_t i = 0; i + 4 < ts.size(); ++i) {
+        if (ts[i].kind != Tok::ident || ts[i].text != "static_cast" ||
+            !is(ts[i + 1], "<") || ts[i + 2].kind != Tok::ident ||
+            ts[i + 2].text != "Cycle" || !is(ts[i + 3], ">") ||
+            !is(ts[i + 4], "("))
+            continue;
+        // Scan the cast argument for floating-point content.
+        int depth = 1;
+        std::string culprit;
+        for (std::size_t j = i + 5; j < ts.size() && depth > 0; ++j) {
+            if (is(ts[j], "("))
+                ++depth;
+            else if (is(ts[j], ")"))
+                --depth;
+            else if (ts[j].kind == Tok::ident &&
+                     (ts[j].text == "double" || ts[j].text == "float"))
+                culprit = ts[j].text;
+            else if (ts[j].kind == Tok::number &&
+                     floatLiteral(ts[j].text) && culprit.empty())
+                culprit = ts[j].text;
+        }
+        if (culprit.empty())
+            continue;
+        report(cx, f.path, ts[i].line, "D12",
+               "static_cast<Cycle>(...) over floating-point '" +
+                   culprit + "' in a hot path");
+    }
+}
+
 /** Drop findings covered by a valid suppression; report bad ones. */
 void
 applySuppressions(const LexedFile &f, std::vector<Finding> &all)
@@ -1545,6 +1600,12 @@ ruleTable()
          "touch shared cells only from the sanctioned cross-shard "
          "channels (outbox merge, safeHorizon-trimmed credit "
          "returns)"},
+        {"D12",
+         "static_cast<Cycle>(...) over floating-point operands in "
+         "src/noc/, src/gpu/ or src/switchcompute/ hot paths",
+         "compute cycle values with common/intmath.hh (ceilDiv, "
+         "SerDivider) so event times stay exact; truncating a double "
+         "ties determinism to FP rounding"},
         {"X1", "malformed cais-lint suppression comment",
          "use: // cais-lint: allow(<rule>) -- <justification>"},
     };
@@ -1609,6 +1670,7 @@ Linter::run(const Options &opts)
         ruleD9(fcx, f, maps[fi]);
         ruleD10(fcx, f, maps[fi]);
         ruleD11(fcx, f, maps[fi]);
+        ruleD12(fcx, f);
         applySuppressions(f, local);
         findings.insert(findings.end(),
                         std::make_move_iterator(local.begin()),

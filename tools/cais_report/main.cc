@@ -8,6 +8,8 @@
  *   cais_report --attribution p.json        makespan attribution by
  *                                           leaf resource class
  *   cais_report --critical-path p.json      critical-path segments
+ *   cais_report --bound run.json            sim-vs-bound ratios by
+ *                                           resource class
  *   cais_report --attribution --diff a b    class-by-class delta
  *   cais_report --critical-path --diff a b  path-time-by-class delta
  */
@@ -30,7 +32,8 @@ usage()
         "       cais_report --diff <a.json> <b.json>\n"
         "       cais_report --attribution [--diff] <profile.json>...\n"
         "       cais_report --critical-path [--diff] "
-        "<profile.json>...\n");
+        "<profile.json>...\n"
+        "       cais_report --bound [--diff] <report.json>...\n");
     return 2;
 }
 
@@ -45,6 +48,7 @@ main(int argc, char **argv)
         summary,
         attribution,
         criticalPath,
+        bound,
     } view = View::summary;
     std::vector<std::string> paths;
     for (int i = 1; i < argc; ++i) {
@@ -55,6 +59,8 @@ main(int argc, char **argv)
             view = View::attribution;
         } else if (arg == "--critical-path") {
             view = View::criticalPath;
+        } else if (arg == "--bound") {
+            view = View::bound;
         } else if (arg == "-h" || arg == "--help") {
             usage();
             return 0;
@@ -85,6 +91,11 @@ main(int argc, char **argv)
         out = want_diff
             ? cais::report::criticalPathDiff(reports[0], reports[1])
             : cais::report::criticalPath(reports[0]);
+        break;
+      case View::bound:
+        out = want_diff
+            ? cais::report::boundDiff(reports[0], reports[1])
+            : cais::report::bound(reports[0]);
         break;
       case View::summary:
         // A profile given without a view flag still renders usefully:

@@ -502,5 +502,117 @@ criticalPathDiff(const Report &a, const Report &b)
     return os.str();
 }
 
+namespace
+{
+
+constexpr const char *boundClasses[] = {
+    "smCompute", "hbm", "linkSerialization", "mergeService",
+    "criticalPath",
+};
+
+std::string
+notARunReport(const Report &r)
+{
+    return "cais_report: " + r.path + " is a " + r.schema +
+           " document; --bound needs a cais-metrics-v1 run report "
+           "with a bound section (RunConfig.metricsPath / "
+           "--metrics)\n";
+}
+
+/** The bound section, or null when the report predates it. */
+const JsonValue *
+boundSection(const Report &r)
+{
+    const JsonValue *b = r.doc.find("bound");
+    return b && b->isObject() ? b : nullptr;
+}
+
+std::string
+ratioCell(double makespan, double bound_cycles)
+{
+    if (bound_cycles == 0.0)
+        return "-";
+    return strfmt("%.2f", makespan / bound_cycles);
+}
+
+} // namespace
+
+std::string
+bound(const Report &r)
+{
+    if (r.isProfile())
+        return notARunReport(r);
+    const JsonValue *b = boundSection(r);
+    if (!b)
+        return notARunReport(r);
+    const JsonValue *result = r.doc.find("result");
+    double makespan = result->getNumber("makespan");
+    std::string binding = b->getString("binding");
+
+    std::ostringstream os;
+    os << "report: " << r.path << "\n";
+    os << "strategy: " << r.doc.getString("strategy", "?")
+       << "  workload: " << r.doc.getString("workload", "?") << "\n";
+    os << strfmt("makespan: %s cycles  composite bound: %s  "
+                 "sim/bound: %s\n",
+                 num(makespan).c_str(),
+                 num(b->getNumber("composite")).c_str(),
+                 ratioCell(makespan,
+                           b->getNumber("composite")).c_str());
+    os << "\n  "
+       << strfmt("%-18s %16s %10s", "resource", "bound", "sim/bound")
+       << "\n";
+    for (const char *cls : boundClasses) {
+        double cyc = b->getNumber(cls);
+        os << "  "
+           << strfmt("%-18s %16s %10s%s", cls, num(cyc).c_str(),
+                     ratioCell(makespan, cyc).c_str(),
+                     binding == cls ? "  <- binding" : "")
+           << "\n";
+    }
+    return os.str();
+}
+
+std::string
+boundDiff(const Report &a, const Report &b)
+{
+    if (a.isProfile() || !boundSection(a))
+        return notARunReport(a);
+    if (b.isProfile() || !boundSection(b))
+        return notARunReport(b);
+    const JsonValue *ba = boundSection(a);
+    const JsonValue *bb = boundSection(b);
+    double ma = a.doc.find("result")->getNumber("makespan");
+    double mb = b.doc.find("result")->getNumber("makespan");
+
+    std::ostringstream os;
+    os << "A: " << a.path << " (" << a.doc.getString("strategy", "?")
+       << ")\n";
+    os << "B: " << b.path << " (" << b.doc.getString("strategy", "?")
+       << ")\n";
+    os << strfmt("makespan: %s -> %s (%s)  binding: %s -> %s\n",
+                 num(ma).c_str(), num(mb).c_str(),
+                 pct(ma, mb).c_str(),
+                 ba->getString("binding", "?").c_str(),
+                 bb->getString("binding", "?").c_str());
+    os << "\n  "
+       << strfmt("%-18s %16s %16s %10s %10s %10s", "resource",
+                 "bound A", "bound B", "delta", "ratio A", "ratio B")
+       << "\n";
+    for (const char *cls : boundClasses) {
+        double va = ba->getNumber(cls);
+        double vb = bb->getNumber(cls);
+        if (va == 0.0 && vb == 0.0)
+            continue;
+        os << "  "
+           << strfmt("%-18s %16s %16s %10s %10s %10s", cls,
+                     num(va).c_str(), num(vb).c_str(),
+                     pct(va, vb).c_str(), ratioCell(ma, va).c_str(),
+                     ratioCell(mb, vb).c_str())
+           << "\n";
+    }
+    return os.str();
+}
+
 } // namespace report
 } // namespace cais

@@ -73,6 +73,17 @@ std::string criticalPath(const Report &r);
 /** Per-class critical-path time delta between two profiles. */
 std::string criticalPathDiff(const Report &a, const Report &b);
 
+/**
+ * Sim-vs-bound view of a cais-metrics-v1 run report: one row per
+ * resource class of the static bound model (analysis/bound_model.hh)
+ * with the bound cycles and the sim/bound ratio, the binding class
+ * marked.
+ */
+std::string bound(const Report &r);
+
+/** Class-by-class sim/bound ratio delta between two run reports. */
+std::string boundDiff(const Report &a, const Report &b);
+
 } // namespace report
 } // namespace cais
 
